@@ -1,0 +1,1 @@
+examples/find_leaks.ml: Addr Cgc Cgc_vm Format List Mem Segment

@@ -1,0 +1,1 @@
+examples/grid_retention.ml: Cgc_workloads Format

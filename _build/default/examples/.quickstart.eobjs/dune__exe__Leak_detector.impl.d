@@ -1,0 +1,1 @@
+examples/leak_detector.ml: Addr Cgc Cgc_mutator Cgc_vm Cgc_workloads Format List Printf

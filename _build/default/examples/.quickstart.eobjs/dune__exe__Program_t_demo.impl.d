@@ -1,0 +1,1 @@
+examples/program_t_demo.ml: Cgc Cgc_workloads Format

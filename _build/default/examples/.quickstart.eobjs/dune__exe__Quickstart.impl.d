@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Cgc Cgc_vm Endian Format List Mem Segment

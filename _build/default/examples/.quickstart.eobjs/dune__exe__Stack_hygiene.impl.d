@@ -1,0 +1,1 @@
+examples/stack_hygiene.ml: Cgc_workloads Format List

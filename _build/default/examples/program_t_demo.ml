@@ -1,0 +1,36 @@
+(* Program T (appendix A of the paper), reduced scale: allocate circular
+   lists on a simulated SPARCstation with a statically linked C library,
+   drop them, and measure how many the collector fails to reclaim — with
+   and without blacklisting.
+
+     dune exec examples/program_t_demo.exe
+*)
+
+module Platform = Cgc_workloads.Platform
+module Program_t = Cgc_workloads.Program_t
+
+let () =
+  let platform = Platform.sparc_static ~optimized:false in
+  Format.printf "platform: %a@.@." Platform.pp platform;
+  (* "a quick examination of the blacklist in a statically linked SPARC
+     executable": build the environment and look at the page map after
+     the startup collection, before any allocation *)
+  let env = Platform.build_env ~blacklisting:true ~heap_max:(2 * 1024 * 1024) platform in
+  Cgc.Gc.collect env.Platform.gc;
+  Format.printf "the blacklist after the startup collection (# = blacklisted, . = free):@.%a@.@."
+    Cgc.Inspect.pp_page_map env.Platform.gc;
+  (* 40 lists of 2500 4-byte cells: a tenth of the paper's scale, same
+     phenomena *)
+  let row = Program_t.run_row ~lists:40 ~nodes:2500 platform in
+  Format.printf "%a@." Program_t.pp_result row.Program_t.without_blacklisting;
+  Format.printf "%a@.@." Program_t.pp_result row.Program_t.with_blacklisting;
+  let without = row.Program_t.without_blacklisting in
+  let with_bl = row.Program_t.with_blacklisting in
+  Format.printf
+    "The static data segment is full of integers that happen to fall in@.\
+     the heap's address range (the paper's base-conversion tables).@.\
+     Without blacklisting they pin %d of %d dropped lists (%.0f%%).@.\
+     With it, the startup collection records those integers and the@.\
+     allocator simply never places lists where they point: %d retained.@."
+    without.Program_t.retained without.Program_t.lists without.Program_t.retention_percent
+    with_bl.Program_t.retained

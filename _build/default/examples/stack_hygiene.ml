@@ -1,0 +1,25 @@
+(* Section 3.1 of the paper: stack hygiene.  A recursive, non-destructive
+   list reversal paints the simulated stack with pointers; uninitialized
+   frames re-expose them to the conservative scan.  The collector's cheap
+   dead-stack clearing helps; compiling the reversal to a loop helps most.
+
+     dune exec examples/stack_hygiene.exe
+*)
+
+module List_reverse = Cgc_workloads.List_reverse
+
+let () =
+  let elements = 200 and iterations = 20 in
+  Format.printf "Reversing a %d-element list %d times, non-destructively:@.@." elements iterations;
+  List.iter
+    (fun mode ->
+      let r = List_reverse.run mode ~elements ~iterations in
+      Format.printf "  %a@." List_reverse.pp r)
+    [ List_reverse.Careless; List_reverse.Cleared; List_reverse.Optimized ];
+  Format.printf
+    "@.True live data is just %d cells (the list and its newest reversal).@.\
+     Everything above that is garbage pinned by stale stack words — the@.\
+     paper saw 40,000-100,000 apparently live cells for a 1000-element@.\
+     list, at most 18,000 with cheap stack clearing, and ~2000 once the@.\
+     compiler turned the tail recursion into a loop.@."
+    (2 * elements)

@@ -1,0 +1,1 @@
+lib/core/blacklist.ml: Bitset Cgc_vm Format

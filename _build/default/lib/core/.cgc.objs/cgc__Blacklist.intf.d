@@ -1,0 +1,1 @@
+lib/core/blacklist.mli: Format

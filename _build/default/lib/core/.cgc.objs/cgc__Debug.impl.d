@@ -1,0 +1,1 @@
+lib/core/debug.ml: Addr Cgc_vm Format Gc Hashtbl Heap List Sweep

@@ -1,0 +1,1 @@
+lib/core/debug.mli: Addr Cgc_vm Format Gc

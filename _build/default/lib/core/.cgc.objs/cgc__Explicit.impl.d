@@ -1,0 +1,1 @@
+lib/core/explicit.ml: Addr Bitset Cgc_vm Config Format Free_list Heap List Page Segment Size_class

@@ -1,0 +1,1 @@
+lib/core/explicit.mli: Addr Cgc_vm Format Free_list Mem

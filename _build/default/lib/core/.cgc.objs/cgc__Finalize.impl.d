@@ -1,0 +1,1 @@
+lib/core/finalize.ml: Addr Cgc_vm Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/finalize.mli: Addr Cgc_vm

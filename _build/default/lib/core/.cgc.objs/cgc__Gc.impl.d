@@ -1,0 +1,1 @@
+lib/core/gc.ml: Addr Bitset Blacklist Cgc_vm Config Finalize Format Free_list Heap List Mark Mem Page Printf Roots Segment Size_class Stats Sweep Sys

@@ -1,0 +1,1 @@
+lib/core/gc.mli: Addr Blacklist Cgc_vm Config Finalize Format Free_list Heap Mark Mem Roots Stats Sweep

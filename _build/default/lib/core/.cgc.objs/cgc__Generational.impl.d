@@ -1,0 +1,1 @@
+lib/core/generational.ml: Addr Array Bitset Blacklist Cgc_vm Config Format Free_list Gc Heap List Mark Mem Page Roots Segment Sweep

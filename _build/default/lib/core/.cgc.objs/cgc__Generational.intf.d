@@ -1,0 +1,1 @@
+lib/core/generational.mli: Addr Cgc_vm Format Gc

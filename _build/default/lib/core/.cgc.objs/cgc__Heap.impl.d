@@ -1,0 +1,1 @@
+lib/core/heap.ml: Addr Array Bitset Cgc_vm Config Format Mem Page Segment

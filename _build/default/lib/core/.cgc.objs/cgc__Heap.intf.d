@@ -1,0 +1,1 @@
+lib/core/heap.mli: Addr Cgc_vm Config Format Mem Page Segment

@@ -1,0 +1,1 @@
+lib/core/inspect.ml: Bitset Blacklist Cgc_vm Format Gc Hashtbl Heap List Page

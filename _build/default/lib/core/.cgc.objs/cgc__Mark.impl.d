@@ -1,0 +1,1 @@
+lib/core/mark.ml: Addr Array Bitset Blacklist Cgc_vm Config Heap List Mem Page Roots Segment Stats

@@ -1,0 +1,1 @@
+lib/core/mark.mli: Addr Blacklist Cgc_vm Config Heap Mem Roots Stats

@@ -1,0 +1,1 @@
+lib/core/page.mli: Bitset Cgc_vm Format

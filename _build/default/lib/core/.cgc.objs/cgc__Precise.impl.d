@@ -1,0 +1,1 @@
+lib/core/precise.ml: Addr Array Bitset Cgc_vm Gc Hashtbl Heap List Page Stats Sweep Type_desc

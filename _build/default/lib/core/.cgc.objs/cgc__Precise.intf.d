@@ -1,0 +1,1 @@
+lib/core/precise.mli: Addr Cgc_vm Gc Type_desc

@@ -1,0 +1,1 @@
+lib/core/roots.ml: Addr Cgc_vm Format List

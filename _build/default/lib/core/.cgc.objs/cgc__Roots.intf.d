@@ -1,0 +1,1 @@
+lib/core/roots.mli: Addr Cgc_vm Format

@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Addr Array Bitset Cgc_vm Finalize Free_list Heap List Page Stats

@@ -1,0 +1,1 @@
+lib/core/sweep.mli: Finalize Free_list Heap Page Stats

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Addr Array Cgc_vm Config Format Gc Hashtbl Heap List Mark Mem Page Roots Segment String

@@ -1,0 +1,1 @@
+lib/core/type_desc.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Bitset Cgc_vm Finalize Free_list Gc Hashtbl Heap List Page Printf Stats

@@ -1,0 +1,91 @@
+open Cgc_vm
+
+type representation =
+  | Exact
+  | Hashed of int
+
+type t = {
+  refresh : bool;
+  representation : representation;
+  n_pages : int;
+  mutable current : Bitset.t;
+  mutable previous : Bitset.t;
+  mutable ops : int;
+}
+
+(* Fibonacci hashing spreads consecutive page numbers across buckets. *)
+let bucket_of t page =
+  match t.representation with
+  | Exact -> page
+  | Hashed buckets -> page * 2654435761 land 0x3FFFFFFF mod buckets
+
+let create ?(representation = Exact) ~n_pages ~refresh () =
+  let universe =
+    match representation with
+    | Exact -> n_pages
+    | Hashed buckets ->
+        if buckets < 1 then invalid_arg "Blacklist.create: need at least one bucket";
+        buckets
+  in
+  {
+    refresh;
+    representation;
+    n_pages;
+    current = Bitset.create universe;
+    previous = Bitset.create universe;
+    ops = 0;
+  }
+
+let representation t = t.representation
+
+let note t page =
+  t.ops <- t.ops + 1;
+  Bitset.add t.current (bucket_of t page)
+
+let is_black t page =
+  let b = bucket_of t page in
+  Bitset.mem t.current b || Bitset.mem t.previous b
+
+let any_black_in t ~lo ~hi =
+  match t.representation with
+  | Exact -> Bitset.exists_in_range t.current ~lo ~hi || Bitset.exists_in_range t.previous ~lo ~hi
+  | Hashed _ ->
+      let rec go i = i < hi && (is_black t i || go (i + 1)) in
+      go lo
+
+let begin_cycle t =
+  if t.refresh then begin
+    t.ops <- t.ops + 1;
+    let old = t.previous in
+    t.previous <- t.current;
+    Bitset.clear old;
+    t.current <- old
+  end
+
+let count t =
+  match t.representation with
+  | Exact ->
+      let union = Bitset.copy t.current in
+      Bitset.union_into ~dst:union t.previous;
+      Bitset.count union
+  | Hashed _ ->
+      let n = ref 0 in
+      for page = 0 to t.n_pages - 1 do
+        if is_black t page then incr n
+      done;
+      !n
+
+let ops t = t.ops
+
+let iter f t =
+  match t.representation with
+  | Exact ->
+      let union = Bitset.copy t.current in
+      Bitset.union_into ~dst:union t.previous;
+      Bitset.iter f union
+  | Hashed _ ->
+      for page = 0 to t.n_pages - 1 do
+        if is_black t page then f page
+      done
+
+let pp ppf t = Format.fprintf ppf "blacklist: %d pages (%d ops)" (count t) t.ops

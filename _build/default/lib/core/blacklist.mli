@@ -1,0 +1,58 @@
+(** The page blacklist (paper section 3, figure 2).
+
+    During marking, a value that is not a valid object address but lies
+    in the vicinity of the heap is recorded; its page is then avoided
+    when fresh pages are handed to the allocator.  Following the paper,
+    blacklisting is page-grained ("for reasons of performance and
+    simplicity, we blacklist entire pages rather than individual
+    addresses") and implemented as a bit array indexed by page number.
+
+    Aging: with [refresh] on, entries live for two collection cycles —
+    "blacklisted values that are no longer found by a later collection
+    may be removed from the list".  A page is effectively black if it was
+    recorded in the current or the previous cycle.
+
+    Representation: the paper describes two variants — the exact bit
+    array, and, for discontinuous heaps, "a hash table with one bit per
+    entry.  If a false reference is seen to any of the pages with a
+    given hash address, all of them are effectively blacklisted.  Since
+    collisions can easily be made rare, this does not result in much
+    lost precision."  Both are provided; the hashed variant trades a
+    controllable amount of false blacklisting for O(buckets) memory. *)
+
+type representation =
+  | Exact  (** one bit per page *)
+  | Hashed of int  (** one bit per hash bucket; the int is the bucket count *)
+
+type t
+
+val create : ?representation:representation -> n_pages:int -> refresh:bool -> unit -> t
+
+val note : t -> int -> unit
+(** Record a false reference into the given page (counted as one
+    bookkeeping operation). *)
+
+val is_black : t -> int -> bool
+
+val any_black_in : t -> lo:int -> hi:int -> bool
+(** Whether any page in [\[lo, hi)] is black — used when placing large
+    objects that must not span blacklisted pages. *)
+
+val begin_cycle : t -> unit
+(** Start a new collection cycle (ages out stale entries when refresh is
+    on; a no-op otherwise). *)
+
+val count : t -> int
+(** Number of currently black pages (for [Hashed], the number of pages
+    whose bucket is black — including collision victims). *)
+
+val representation : t -> representation
+
+val ops : t -> int
+(** Total bookkeeping operations performed (notes + cycle rotations),
+    the quantity behind the paper's "less than 1%" overhead claim. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over currently black pages in increasing order. *)
+
+val pp : Format.formatter -> t -> unit

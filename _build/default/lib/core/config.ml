@@ -1,0 +1,91 @@
+type large_validity =
+  | Anywhere
+  | First_page_only
+
+type t = {
+  page_size : int;
+  granule : int;
+  interior_pointers : bool;
+  valid_displacements : int list;
+  large_validity : large_validity;
+  alignment : int;
+  blacklisting : bool;
+  blacklist_buckets : int option;
+  blacklist_refresh : bool;
+  atomic_on_black_pages : bool;
+  avoid_trailing_zeros : int option;
+  zero_on_alloc : bool;
+  initial_pages : int;
+  min_expand_pages : int;
+  space_divisor : int;
+  lazy_sweep : bool;
+  mark_stack_limit : int option;
+  full_gc_at_startup : bool;
+}
+
+let default =
+  {
+    page_size = 4096;
+    granule = 4;
+    interior_pointers = true;
+    valid_displacements = [];
+    large_validity = Anywhere;
+    alignment = 4;
+    blacklisting = true;
+    blacklist_buckets = None;
+    blacklist_refresh = true;
+    atomic_on_black_pages = true;
+    avoid_trailing_zeros = None;
+    zero_on_alloc = true;
+    initial_pages = 64;
+    min_expand_pages = 64;
+    space_divisor = 3;
+    lazy_sweep = false;
+    mark_stack_limit = None;
+    full_gc_at_startup = true;
+  }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate t =
+  if not (is_power_of_two t.page_size) || t.page_size < 256 then
+    invalid_arg "Config: page_size must be a power of two >= 256";
+  if t.granule <> 4 then invalid_arg "Config: granule must be 4 (the machine word)";
+  if t.alignment <> 1 && t.alignment <> 2 && t.alignment <> 4 then
+    invalid_arg "Config: alignment must be 1, 2 or 4";
+  if t.initial_pages < 1 then invalid_arg "Config: initial_pages must be >= 1";
+  if t.min_expand_pages < 1 then invalid_arg "Config: min_expand_pages must be >= 1";
+  if t.space_divisor < 1 then invalid_arg "Config: space_divisor must be >= 1";
+  List.iter
+    (fun d ->
+      if d < 0 then invalid_arg "Config: negative displacement";
+      if d mod 4 <> 0 then invalid_arg "Config: displacements must be word-aligned")
+    t.valid_displacements;
+  (match t.avoid_trailing_zeros with
+  | Some k when k < 3 || k > 31 ->
+      invalid_arg "Config: avoid_trailing_zeros threshold must be in [3,31]"
+  | Some _ | None -> ());
+  (match t.blacklist_buckets with
+  | Some n when n < 1 -> invalid_arg "Config: blacklist_buckets must be >= 1"
+  | Some _ | None -> ());
+  (match t.mark_stack_limit with
+  | Some n when n < 16 -> invalid_arg "Config: mark_stack_limit must be >= 16"
+  | Some _ | None -> ())
+
+let max_small_bytes t = t.page_size / 2
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>page_size=%d granule=%d interior=%b displacements=[%s] large=%s align=%d@,\
+     blacklist=%b refresh=%b atomic_on_black=%b avoid_tz=%s zero=%b@,\
+     initial_pages=%d expand=%d divisor=%d startup_gc=%b@]"
+    t.page_size t.granule t.interior_pointers
+    (String.concat ";" (List.map string_of_int t.valid_displacements))
+    (match t.large_validity with
+    | Anywhere -> "anywhere"
+    | First_page_only -> "first-page")
+    t.alignment t.blacklisting t.blacklist_refresh t.atomic_on_black_pages
+    (match t.avoid_trailing_zeros with
+    | None -> "off"
+    | Some k -> string_of_int k)
+    t.zero_on_alloc t.initial_pages t.min_expand_pages t.space_divisor t.full_gc_at_startup

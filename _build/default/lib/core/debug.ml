@@ -1,0 +1,85 @@
+open Cgc_vm
+
+type entry = {
+  tag : string;
+  mutable freed : bool;
+}
+
+type t = {
+  gc : Gc.t;
+  table : (Addr.t, entry) Hashtbl.t;
+}
+
+let create gc =
+  Gc.set_auto_collect gc false;
+  { gc; table = Hashtbl.create 256 }
+
+let gc t = t.gc
+
+let allocate ?pointer_free t ~tag bytes =
+  let a = Gc.allocate ?pointer_free t.gc bytes in
+  Hashtbl.replace t.table a { tag; freed = false };
+  a
+
+let free t a =
+  match Hashtbl.find_opt t.table a with
+  | None -> invalid_arg "Debug.free: not a tracked object"
+  | Some e ->
+      if e.freed then invalid_arg "Debug.free: double free";
+      e.freed <- true
+
+type finding = {
+  address : Addr.t;
+  tag : string;
+}
+
+type report = {
+  leaks : finding list;
+  premature_frees : finding list;
+  clean_frees : int;
+  live : int;
+}
+
+let check t =
+  Gc.Internal.run_mark t.gc;
+  let heap = Gc.heap t.gc in
+  let leaks = ref [] in
+  let premature = ref [] in
+  let clean = ref 0 in
+  let live = ref 0 in
+  let drop = ref [] in
+  Hashtbl.iter
+    (fun address e ->
+      let reachable = Gc.Internal.is_marked t.gc address in
+      match (e.freed, reachable) with
+      | true, true -> premature := { address; tag = e.tag } :: !premature
+      | true, false ->
+          incr clean;
+          drop := address :: !drop
+      | false, false ->
+          leaks := { address; tag = e.tag } :: !leaks;
+          (* keep the leaked object allocated so the report repeats
+             until the program is fixed *)
+          ignore (Heap.mark_object heap address)
+      | false, true -> incr live)
+    t.table;
+  List.iter (Hashtbl.remove t.table) !drop;
+  let (_ : Sweep.result) = Gc.Internal.run_sweep t.gc in
+  {
+    leaks = List.rev !leaks;
+    premature_frees = List.rev !premature;
+    clean_frees = !clean;
+    live = !live;
+  }
+
+let tracked t = Hashtbl.length t.table
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%d live, %d cleanly freed, %d leak(s), %d premature free(s)@,"
+    r.live r.clean_frees (List.length r.leaks)
+    (List.length r.premature_frees);
+  List.iter (fun f -> Format.fprintf ppf "  LEAK          %a  (%s)@," Addr.pp f.address f.tag) r.leaks;
+  List.iter
+    (fun f -> Format.fprintf ppf "  PREMATURE FREE %a (%s)@," Addr.pp f.address f.tag)
+    r.premature_frees;
+  Format.fprintf ppf "@]"

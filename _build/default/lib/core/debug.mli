@@ -1,0 +1,56 @@
+(** The collector as a debugging tool for explicitly-deallocated
+    programs.
+
+    The paper notes that conservative collectors "have also been used as
+    a debugging tool for programs that explicitly deallocate storage"
+    [9, 16].  In that mode the program keeps calling its own [free], the
+    collector never actually trusts it, and a checkpoint compares the
+    program's opinion with reachability:
+
+    - an object the program {e freed} but that is still {e reachable} is
+      a premature free — a use-after-free waiting to happen;
+    - an object that is {e unreachable} but was never freed is a leak.
+
+    Objects are allocated with a tag (an allocation-site label), so the
+    report names the offender. *)
+
+open Cgc_vm
+
+type t
+
+val create : Gc.t -> t
+(** Wrap a collector.  Automatic collection is turned off on the wrapped
+    [Gc.t]: in this mode the program manages lifetime; the collector
+    only audits at {!check} points. *)
+
+val gc : t -> Gc.t
+
+val allocate : ?pointer_free:bool -> t -> tag:string -> int -> Addr.t
+(** Allocate a tracked object.  The tag names the allocation site. *)
+
+val free : t -> Addr.t -> unit
+(** The program claims it is done with this object.  Nothing is
+    reclaimed — the claim is recorded for the next {!check}.
+    @raise Invalid_argument on a double free or an untracked address. *)
+
+type finding = {
+  address : Addr.t;
+  tag : string;
+}
+
+type report = {
+  leaks : finding list;  (** unreachable, never freed *)
+  premature_frees : finding list;  (** freed, still reachable *)
+  clean_frees : int;  (** freed and indeed unreachable *)
+  live : int;  (** reachable and not freed — healthy *)
+}
+
+val check : t -> report
+(** Mark from the registered roots and audit every tracked object.
+    Objects that are both freed and unreachable are reclaimed (and no
+    longer tracked); leaks and premature frees stay tracked so they are
+    reported again until fixed. *)
+
+val tracked : t -> int
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,159 @@
+open Cgc_vm
+
+exception Out_of_memory of string
+
+type t = {
+  sizes : Size_class.t;
+  heap : Heap.t;
+  free_lists : Free_list.t;
+  mutable live_bytes : int;
+  mutable live_objects : int;
+}
+
+let create ?(page_size = 4096) ?(policy = Free_list.Address_ordered) mem ~base ~max_bytes () =
+  let config =
+    {
+      Config.default with
+      Config.page_size;
+      blacklisting = false;
+      full_gc_at_startup = false;
+      initial_pages = 1;
+    }
+  in
+  let heap = Heap.create mem ~config ~base ~max_bytes in
+  let sizes = Size_class.create config in
+  let free_lists = Free_list.create ~n_classes:(Size_class.n_classes sizes) policy in
+  { sizes; heap; free_lists; live_bytes = 0; live_objects = 0 }
+
+let page_of t a = Heap.page_index t.heap a
+
+let carve_page t index ~granules =
+  let object_bytes = Size_class.bytes_of_granules t.sizes granules in
+  let n_objects = Size_class.objects_per_page t.sizes ~granules ~first_offset:0 in
+  Heap.set_page t.heap index
+    (Page.make_small ~granules ~object_bytes ~pointer_free:false ~first_offset:0 ~n_objects);
+  let base = Addr.to_int (Heap.page_addr t.heap index) in
+  let slots = List.init n_objects (fun i -> base + (i * object_bytes)) in
+  Free_list.prepend_block t.free_lists ~granules ~pointer_free:false slots
+
+let acquire_page t ~granules =
+  let fresh =
+    match Heap.find_free_page t.heap ~ok:(fun _ -> true) with
+    | Some i -> Some i
+    | None ->
+        let next = Heap.committed_pages t.heap in
+        if Heap.commit_through t.heap next then Some next else None
+  in
+  match fresh with
+  | Some i -> carve_page t i ~granules
+  | None -> raise (Out_of_memory "explicit allocator: reserved region exhausted")
+
+let malloc_small t ~granules =
+  let take () = Free_list.take t.free_lists ~granules ~pointer_free:false in
+  match take () with
+  | Some a -> a
+  | None -> (
+      acquire_page t ~granules;
+      match take () with
+      | Some a -> a
+      | None -> assert false)
+
+let malloc_large t bytes =
+  let page_size = Heap.page_size t.heap in
+  let n = (bytes + page_size - 1) / page_size in
+  match Heap.find_free_run t.heap ~n ~ok:(fun _ -> true) with
+  | None -> raise (Out_of_memory "explicit allocator: no free run for large object")
+  | Some start ->
+      if not (Heap.commit_through t.heap (start + n - 1)) then
+        raise (Out_of_memory "explicit allocator: cannot commit large object");
+      Heap.set_page t.heap start (Page.make_large ~n_pages:n ~object_bytes:bytes ~pointer_free:false);
+      for j = start + 1 to start + n - 1 do
+        Heap.set_page t.heap j (Page.Large_tail { head_index = start })
+      done;
+      Heap.page_addr t.heap start
+
+let malloc t bytes =
+  if bytes <= 0 then invalid_arg "Explicit.malloc: non-positive size";
+  let base, rounded =
+    if Size_class.is_small t.sizes bytes then begin
+      let granules = Size_class.granules_for t.sizes bytes in
+      let a = malloc_small t ~granules in
+      (* mark allocated *)
+      (match Heap.page t.heap (page_of t a) with
+      | Page.Small s ->
+          let rel = Addr.diff a (Heap.page_addr t.heap (page_of t a)) - s.Page.first_offset in
+          Bitset.add s.Page.alloc (rel / s.Page.object_bytes)
+      | Page.Uncommitted | Page.Free | Page.Large_head _ | Page.Large_tail _ -> assert false);
+      (a, Size_class.bytes_of_granules t.sizes granules)
+    end
+    else (malloc_large t bytes, bytes)
+  in
+  t.live_bytes <- t.live_bytes + rounded;
+  t.live_objects <- t.live_objects + 1;
+  base
+
+let free t a =
+  if not (Heap.contains t.heap a) then invalid_arg "Explicit.free: address outside the heap";
+  let index = page_of t a in
+  match Heap.page t.heap index with
+  | Page.Small s ->
+      let rel = Addr.diff a (Heap.page_addr t.heap index) - s.Page.first_offset in
+      if rel < 0 || rel mod s.Page.object_bytes <> 0 then
+        invalid_arg "Explicit.free: not an object base";
+      let obj = rel / s.Page.object_bytes in
+      if obj >= s.Page.n_objects || not (Bitset.mem s.Page.alloc obj) then
+        invalid_arg "Explicit.free: double free or wild pointer";
+      Bitset.remove s.Page.alloc obj;
+      Free_list.add t.free_lists ~granules:s.Page.granules ~pointer_free:false (Addr.to_int a);
+      t.live_bytes <- t.live_bytes - s.Page.object_bytes;
+      t.live_objects <- t.live_objects - 1
+  | Page.Large_head l ->
+      if not (Addr.equal a (Heap.page_addr t.heap index)) || not l.Page.l_allocated then
+        invalid_arg "Explicit.free: double free or wild pointer";
+      l.Page.l_allocated <- false;
+      for j = index to index + l.Page.n_pages - 1 do
+        Heap.set_page t.heap j Page.Free
+      done;
+      t.live_bytes <- t.live_bytes - l.Page.object_bytes;
+      t.live_objects <- t.live_objects - 1
+  | Page.Uncommitted | Page.Free | Page.Large_tail _ ->
+      invalid_arg "Explicit.free: not an allocated object"
+
+let is_allocated t a =
+  if not (Heap.contains t.heap a) then false
+  else begin
+    let index = page_of t a in
+    match Heap.page t.heap index with
+    | Page.Small s ->
+        let rel = Addr.diff a (Heap.page_addr t.heap index) - s.Page.first_offset in
+        rel >= 0
+        && rel mod s.Page.object_bytes = 0
+        && rel / s.Page.object_bytes < s.Page.n_objects
+        && Bitset.mem s.Page.alloc (rel / s.Page.object_bytes)
+    | Page.Large_head l -> l.Page.l_allocated && Addr.equal a (Heap.page_addr t.heap index)
+    | Page.Uncommitted | Page.Free | Page.Large_tail _ -> false
+  end
+
+let live_bytes t = t.live_bytes
+let live_objects t = t.live_objects
+let committed_bytes t = Heap.committed_bytes t.heap
+let fragmentation t = float_of_int (committed_bytes t) /. float_of_int (max t.live_bytes 1)
+
+let release_empty_pages t =
+  let released = ref 0 in
+  Heap.iter_committed t.heap (fun i p ->
+      match p with
+      | Page.Small s when Bitset.is_empty s.Page.alloc ->
+          Free_list.drop_in_page t.free_lists ~granules:s.Page.granules ~pointer_free:false
+            ~page_of:(page_of t) ~page:i;
+          Heap.set_page t.heap i Page.Free;
+          incr released
+      | Page.Small _ | Page.Uncommitted | Page.Free | Page.Large_head _ | Page.Large_tail _ -> ());
+  !released
+
+let get_field t base i = Segment.read_word (Heap.segment t.heap) (Addr.add base (4 * i))
+let set_field t base i v = Segment.write_word (Heap.segment t.heap) (Addr.add base (4 * i)) v
+
+let pp ppf t =
+  Format.fprintf ppf "explicit allocator: %d objects / %d bytes live, %d bytes committed (%.2fx)"
+    t.live_objects t.live_bytes (committed_bytes t) (fragmentation t)

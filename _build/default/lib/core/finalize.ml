@@ -1,0 +1,31 @@
+open Cgc_vm
+
+type t = {
+  table : (Addr.t, string) Hashtbl.t;
+  mutable queue : (Addr.t * string) list; (* reversed *)
+  mutable queue_len : int;
+}
+
+let create () = { table = Hashtbl.create 64; queue = []; queue_len = 0 }
+
+let register t a ~token = Hashtbl.replace t.table a token
+let unregister t a = Hashtbl.remove t.table a
+let is_registered t a = Hashtbl.mem t.table a
+let registered_count t = Hashtbl.length t.table
+let iter_registered f t = Hashtbl.iter f t.table
+
+let on_reclaimed t a =
+  match Hashtbl.find_opt t.table a with
+  | None -> ()
+  | Some token ->
+      Hashtbl.remove t.table a;
+      t.queue <- (a, token) :: t.queue;
+      t.queue_len <- t.queue_len + 1
+
+let drain t =
+  let q = List.rev t.queue in
+  t.queue <- [];
+  t.queue_len <- 0;
+  q
+
+let queue_length t = t.queue_len

@@ -1,0 +1,35 @@
+(** Finalization registry.
+
+    Mirrors the facility the paper's PCR experiments used to count
+    reclaimed lists: "statistics were gathered using the PCR
+    finalization facility, which allows selected otherwise unreachable
+    heap cells to be enqueued for further action".  A registered object
+    that the sweeper reclaims is enqueued with its token; the client
+    drains the queue between collections. *)
+
+open Cgc_vm
+
+type t
+
+val create : unit -> t
+
+val register : t -> Addr.t -> token:string -> unit
+(** Watch the object at the given base address.  Re-registering an
+    address replaces its token. *)
+
+val unregister : t -> Addr.t -> unit
+
+val is_registered : t -> Addr.t -> bool
+
+val registered_count : t -> int
+
+val iter_registered : (Cgc_vm.Addr.t -> string -> unit) -> t -> unit
+
+val on_reclaimed : t -> Addr.t -> unit
+(** Called by the sweeper when an object is freed; enqueues the token if
+    the address was registered and removes the registration. *)
+
+val drain : t -> (Addr.t * string) list
+(** Return and clear the queue, in reclamation order. *)
+
+val queue_length : t -> int

@@ -1,0 +1,438 @@
+open Cgc_vm
+
+type t = {
+  mem : Mem.t;
+  config : Config.t;
+  sizes : Size_class.t;
+  heap : Heap.t;
+  blacklist : Blacklist.t;
+  free_lists : Free_list.t;
+  roots : Roots.t;
+  finalize : Finalize.t;
+  stats : Stats.t;
+  marker : Mark.t;
+  pending_sweep : Bitset.t; (* lazy mode: pages awaiting their sweep *)
+  mutable allocated_since_gc : int;
+  mutable auto_collect : bool;
+}
+
+exception Out_of_memory of string
+
+let create ?(config = Config.default) mem ~base ~max_bytes () =
+  Config.validate config;
+  let heap = Heap.create mem ~config ~base ~max_bytes in
+  let blacklist =
+    let representation =
+      match config.Config.blacklist_buckets with
+      | None -> Blacklist.Exact
+      | Some buckets -> Blacklist.Hashed buckets
+    in
+    Blacklist.create ~representation ~n_pages:(Heap.n_pages heap)
+      ~refresh:config.Config.blacklist_refresh ()
+  in
+  let sizes = Size_class.create config in
+  let free_lists = Free_list.create ~n_classes:(Size_class.n_classes sizes) Free_list.Lifo in
+  let stats = Stats.create () in
+  let marker = Mark.create heap config blacklist stats in
+  let t =
+    {
+      mem;
+      config;
+      sizes;
+      heap;
+      blacklist;
+      free_lists;
+      roots = Roots.create ();
+      finalize = Finalize.create ();
+      stats;
+      marker;
+      pending_sweep = Bitset.create (Heap.n_pages heap);
+      allocated_since_gc = 0;
+      auto_collect = true;
+    }
+  in
+  t
+
+let config t = t.config
+let mem t = t.mem
+let stats t = t.stats
+let heap t = t.heap
+let blacklist t = t.blacklist
+let blacklisted_pages t = Blacklist.count t.blacklist
+let live_bytes t = t.stats.Stats.live_bytes
+let auto_collect t = t.auto_collect
+let set_auto_collect t b = t.auto_collect <- b
+
+(* --- roots --- *)
+
+let add_static_root t ~lo ~hi ~label = Roots.add t.roots (Roots.Static_range { lo; hi; label })
+let add_dynamic_roots t ~label f = Roots.add t.roots (Roots.Dynamic_ranges (label, f))
+let add_register_roots t ~label f = Roots.add t.roots (Roots.Register_file (label, f))
+let exclude_roots t ~lo ~hi ~label = Roots.exclude t.roots ~lo ~hi ~label
+let clear_roots t = Roots.clear t.roots
+
+(* --- collection --- *)
+
+(* Lazy mode: sweep every page still awaiting its sweep. *)
+let drain_pending_sweeps t =
+  let freed = ref 0 in
+  Bitset.iter (fun i -> freed := !freed + Sweep.sweep_page t.heap t.free_lists t.finalize t.stats i)
+    t.pending_sweep;
+  Bitset.clear t.pending_sweep;
+  !freed
+
+let collect t =
+  let t0 = Sys.time () in
+  t.stats.Stats.collections <- t.stats.Stats.collections + 1;
+  if t.config.Config.lazy_sweep then begin
+    (* leftovers from the previous cycle must go before marks are reset *)
+    let (_ : int) = drain_pending_sweeps t in
+    Mark.run t.marker t.roots ~mem:t.mem;
+    let t1 = Sys.time () in
+    Heap.iter_committed t.heap (fun i p ->
+        match p with
+        | Page.Small _ | Page.Large_head _ -> Bitset.add t.pending_sweep i
+        | Page.Free | Page.Uncommitted | Page.Large_tail _ -> ());
+    t.stats.Stats.mark_seconds <- t.stats.Stats.mark_seconds +. (t1 -. t0);
+    t.stats.Stats.total_gc_seconds <- t.stats.Stats.total_gc_seconds +. (t1 -. t0)
+  end
+  else begin
+    Mark.run t.marker t.roots ~mem:t.mem;
+    let t1 = Sys.time () in
+    let (_ : Sweep.result) = Sweep.run t.heap t.free_lists t.finalize t.stats in
+    let t2 = Sys.time () in
+    t.stats.Stats.mark_seconds <- t.stats.Stats.mark_seconds +. (t1 -. t0);
+    t.stats.Stats.sweep_seconds <- t.stats.Stats.sweep_seconds +. (t2 -. t1);
+    t.stats.Stats.total_gc_seconds <- t.stats.Stats.total_gc_seconds +. (t2 -. t0)
+  end;
+  t.allocated_since_gc <- 0
+
+let trim t =
+  Heap.uncommit_trailing_free t.heap
+
+let startup_collect_if_configured t =
+  if t.config.Config.full_gc_at_startup && t.stats.Stats.collections = 0 then collect t
+
+let maybe_collect t =
+  if t.auto_collect then begin
+    startup_collect_if_configured t;
+    let budget = Heap.committed_bytes t.heap / t.config.Config.space_divisor in
+    if t.allocated_since_gc >= budget then collect t
+  end
+
+(* --- page acquisition --- *)
+
+(* Whether the blacklist permits giving page [i] to this allocation. *)
+let page_ok t ~pointer_free ~small i =
+  if not t.config.Config.blacklisting then true
+  else begin
+    t.stats.Stats.blacklist_alloc_checks <- t.stats.Stats.blacklist_alloc_checks + 1;
+    if Blacklist.is_black t.blacklist i then begin
+      if small && pointer_free && t.config.Config.atomic_on_black_pages then true
+      else begin
+        t.stats.Stats.blacklist_rejected_pages <- t.stats.Stats.blacklist_rejected_pages + 1;
+        false
+      end
+    end
+    else true
+  end
+
+let first_offset_for t page_index =
+  match t.config.Config.avoid_trailing_zeros with
+  | None -> 0
+  | Some k ->
+      let addr = Heap.page_addr t.heap page_index in
+      if Addr.trailing_zeros addr >= k then t.config.Config.granule else 0
+
+let carve_small_page t index ~granules ~pointer_free =
+  let first_offset = first_offset_for t index in
+  let object_bytes = Size_class.bytes_of_granules t.sizes granules in
+  let n_objects = Size_class.objects_per_page t.sizes ~granules ~first_offset in
+  Heap.set_page t.heap index
+    (Page.make_small ~granules ~object_bytes ~pointer_free ~first_offset ~n_objects);
+  let base = Addr.to_int (Heap.page_addr t.heap index) + first_offset in
+  let slots = List.init n_objects (fun i -> base + (i * object_bytes)) in
+  Free_list.prepend_block t.free_lists ~granules ~pointer_free slots
+
+(* Lowest uncommitted page acceptable to [ok], committing through it. *)
+let commit_fresh_page t ~ok =
+  let rec go i =
+    if i >= Heap.n_pages t.heap then None
+    else
+      match Heap.page t.heap i with
+      | Page.Uncommitted when ok i ->
+          if Heap.commit_through t.heap i then begin
+            t.stats.Stats.heap_expansions <- t.stats.Stats.heap_expansions + 1;
+            Some i
+          end
+          else None
+      | Page.Uncommitted | Page.Free | Page.Small _ | Page.Large_head _ | Page.Large_tail _ ->
+          go (i + 1)
+  in
+  go (Heap.committed_pages t.heap)
+
+let acquire_small_page t ~granules ~pointer_free =
+  (* before taking a brand-new page, finish any deferred sweeping: it
+     may free whole pages *)
+  if t.config.Config.lazy_sweep then ignore (drain_pending_sweeps t);
+  let ok = page_ok t ~pointer_free ~small:true in
+  let try_once () =
+    match Heap.find_free_page t.heap ~ok with
+    | Some i -> Some i
+    | None -> commit_fresh_page t ~ok
+  in
+  let index =
+    match try_once () with
+    | Some i -> Some i
+    | None ->
+        if t.auto_collect then begin
+          collect t;
+          try_once ()
+        end
+        else None
+  in
+  match index with
+  | Some i -> carve_small_page t i ~granules ~pointer_free
+  | None ->
+      raise
+        (Out_of_memory
+           (Printf.sprintf "no page for a %d-granule object (%d pages blacklisted)" granules
+              (Blacklist.count t.blacklist)))
+
+let zero_object t base bytes =
+  Segment.zero_range (Heap.segment t.heap) base ~len:bytes
+
+let set_alloc_bit t base =
+  let index = Heap.page_index t.heap base in
+  match Heap.page t.heap index with
+  | Page.Small s ->
+      let rel = Addr.diff base (Heap.page_addr t.heap index) - s.Page.first_offset in
+      let obj = rel / s.Page.object_bytes in
+      Bitset.add s.Page.alloc obj;
+      (* lazy mode allocates black: the page may still await its sweep,
+         which would otherwise reclaim this unmarked newcomer *)
+      if t.config.Config.lazy_sweep && Bitset.mem t.pending_sweep index then
+        Bitset.add s.Page.mark obj
+  | Page.Uncommitted | Page.Free | Page.Large_head _ | Page.Large_tail _ -> assert false
+
+(* Lazy mode: sweep pending pages of this class until one yields. *)
+let sweep_pending_for_class t ~granules ~pointer_free =
+  let found = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let candidate = ref None in
+    (try
+       Bitset.iter
+         (fun i ->
+           match Heap.page t.heap i with
+           | Page.Small s
+             when s.Page.granules = granules && s.Page.pointer_free = pointer_free ->
+               candidate := Some i;
+               raise Exit
+           | Page.Small _ | Page.Free | Page.Uncommitted | Page.Large_head _ | Page.Large_tail _
+             ->
+               ())
+         t.pending_sweep
+     with Exit -> ());
+    match !candidate with
+    | None -> continue_ := false
+    | Some i ->
+        Bitset.remove t.pending_sweep i;
+        let (_ : int) = Sweep.sweep_page t.heap t.free_lists t.finalize t.stats i in
+        if Free_list.length t.free_lists ~granules ~pointer_free > 0 then begin
+          found := true;
+          continue_ := false
+        end
+  done;
+  !found
+
+let allocate_small t ~granules ~pointer_free =
+  let take () = Free_list.take t.free_lists ~granules ~pointer_free in
+  let take_with_lazy () =
+    match take () with
+    | Some a -> Some a
+    | None ->
+        if
+          t.config.Config.lazy_sweep
+          && (not (Bitset.is_empty t.pending_sweep))
+          && sweep_pending_for_class t ~granules ~pointer_free
+        then take ()
+        else None
+  in
+  let base =
+    match take_with_lazy () with
+    | Some a -> a
+    | None -> (
+        acquire_small_page t ~granules ~pointer_free;
+        match take () with
+        | Some a -> a
+        | None -> assert false)
+  in
+  set_alloc_bit t base;
+  base
+
+(* Blacklist acceptability for one page of a large object: when interior
+   pointers are recognized everywhere, no page of the object may be
+   black; otherwise only the first page matters. *)
+let large_page_ok t ~start i =
+  if not t.config.Config.blacklisting then true
+  else begin
+    t.stats.Stats.blacklist_alloc_checks <- t.stats.Stats.blacklist_alloc_checks + 1;
+    let must_be_clean =
+      i = start
+      || (t.config.Config.interior_pointers
+         && t.config.Config.large_validity = Config.Anywhere)
+    in
+    if must_be_clean && Blacklist.is_black t.blacklist i then begin
+      t.stats.Stats.blacklist_rejected_pages <- t.stats.Stats.blacklist_rejected_pages + 1;
+      false
+    end
+    else true
+  end
+
+let allocate_large t ~bytes ~pointer_free =
+  (* large placement needs an accurate page map *)
+  if t.config.Config.lazy_sweep then ignore (drain_pending_sweeps t);
+  let page_size = Heap.page_size t.heap in
+  let n = (bytes + page_size - 1) / page_size in
+  (* find_free_run probes pages left to right, so the "start" of the
+     run under consideration is not known to [ok]; conservatively treat
+     every page of the run as needing cleanliness when interiors are
+     recognized, and retry with a first-page-only constraint otherwise
+     by scanning candidate starts explicitly. *)
+  let strict =
+    t.config.Config.interior_pointers && t.config.Config.large_validity = Config.Anywhere
+  in
+  let find () =
+    if strict || not t.config.Config.blacklisting then
+      Heap.find_free_run t.heap ~n ~ok:(fun i -> large_page_ok t ~start:i i)
+    else begin
+      (* only the first page must be clean: try successive starts *)
+      let rec go start =
+        if start + n > Heap.n_pages t.heap then None
+        else begin
+          let usable i =
+            match Heap.page t.heap i with
+            | Page.Free | Page.Uncommitted -> true
+            | Page.Small _ | Page.Large_head _ | Page.Large_tail _ -> false
+          in
+          let rec run_ok i = i >= start + n || (usable i && run_ok (i + 1)) in
+          if large_page_ok t ~start start && usable start && run_ok (start + 1) then Some start
+          else go (start + 1)
+        end
+      in
+      go 0
+    end
+  in
+  let place () =
+    match find () with
+    | None -> None
+    | Some start ->
+        if Heap.commit_through t.heap (start + n - 1) then begin
+          if start + n - 1 >= Heap.committed_pages t.heap - 1 then
+            t.stats.Stats.heap_expansions <- t.stats.Stats.heap_expansions + 1;
+          Heap.set_page t.heap start (Page.make_large ~n_pages:n ~object_bytes:bytes ~pointer_free);
+          for j = start + 1 to start + n - 1 do
+            Heap.set_page t.heap j (Page.Large_tail { head_index = start })
+          done;
+          Some (Heap.page_addr t.heap start)
+        end
+        else None
+  in
+  let base =
+    match place () with
+    | Some a -> Some a
+    | None ->
+        if t.auto_collect then begin
+          collect t;
+          place ()
+        end
+        else None
+  in
+  match base with
+  | Some a -> a
+  | None ->
+      raise
+        (Out_of_memory
+           (Printf.sprintf "no run of %d pages for a %d-byte object (%d pages blacklisted)" n
+              bytes (Blacklist.count t.blacklist)))
+
+let allocate ?(pointer_free = false) ?finalizer t bytes =
+  if bytes <= 0 then invalid_arg "Gc.allocate: non-positive size";
+  maybe_collect t;
+  let base =
+    if Size_class.is_small t.sizes bytes then begin
+      let granules = Size_class.granules_for t.sizes bytes in
+      allocate_small t ~granules ~pointer_free
+    end
+    else allocate_large t ~bytes ~pointer_free
+  in
+  let rounded =
+    if Size_class.is_small t.sizes bytes then
+      Size_class.bytes_of_granules t.sizes (Size_class.granules_for t.sizes bytes)
+    else bytes
+  in
+  if t.config.Config.zero_on_alloc then zero_object t base rounded;
+  t.stats.Stats.bytes_allocated <- t.stats.Stats.bytes_allocated + rounded;
+  t.stats.Stats.objects_allocated <- t.stats.Stats.objects_allocated + 1;
+  t.allocated_since_gc <- t.allocated_since_gc + rounded;
+  (match finalizer with
+  | Some token -> Finalize.register t.finalize base ~token
+  | None -> ());
+  base
+
+(* --- object access and exact queries --- *)
+
+let get_field t base i = Segment.read_word (Heap.segment t.heap) (Addr.add base (4 * i))
+let set_field t base i v = Segment.write_word (Heap.segment t.heap) (Addr.add base (4 * i)) v
+
+let exact_config = { Config.default with Config.interior_pointers = true; large_validity = Config.Anywhere }
+
+let find_object t addr =
+  match Mark.classify t.heap exact_config addr with
+  | Mark.Valid { base; page = _ } -> Some base
+  | Mark.False_in_heap _ | Mark.Outside -> None
+
+let is_allocated t addr =
+  match find_object t addr with
+  | Some base -> Addr.equal base addr
+  | None -> false
+
+let object_size t addr =
+  if not (is_allocated t addr) then None
+  else begin
+    let index = Heap.page_index t.heap addr in
+    match Heap.page t.heap index with
+    | Page.Small s -> Some s.Page.object_bytes
+    | Page.Large_head l -> Some l.Page.object_bytes
+    | Page.Uncommitted | Page.Free | Page.Large_tail _ -> None
+  end
+
+(* --- finalization --- *)
+
+let add_finalizer t addr ~token = Finalize.register t.finalize addr ~token
+let drain_finalized t = Finalize.drain t.finalize
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@,%a@,%a@]" Heap.pp t.heap Blacklist.pp t.blacklist Stats.pp t.stats
+
+module Internal = struct
+  let free_lists t = t.free_lists
+  let finalize t = t.finalize
+  let roots t = t.roots
+  let marker t = t.marker
+  let run_sweep t = Sweep.run t.heap t.free_lists t.finalize t.stats
+  let run_mark t = Mark.run t.marker t.roots ~mem:t.mem
+
+  let is_marked t addr =
+    match find_object t addr with
+    | None -> false
+    | Some base -> (
+        let index = Heap.page_index t.heap base in
+        match Heap.page t.heap index with
+        | Page.Small s ->
+            let rel = Addr.diff base (Heap.page_addr t.heap index) - s.Page.first_offset in
+            Bitset.mem s.Page.mark (rel / s.Page.object_bytes)
+        | Page.Large_head l -> l.Page.l_marked
+        | Page.Uncommitted | Page.Free | Page.Large_tail _ -> false)
+end

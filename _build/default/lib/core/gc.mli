@@ -1,0 +1,131 @@
+(** The conservative garbage collector — public facade.
+
+    A [Gc.t] owns a reserved heap region inside a simulated address
+    space ({!Cgc_vm.Mem}), allocates headerless objects from
+    size-classed pages, and reclaims them by conservative mark-sweep
+    with page blacklisting, reproducing the collector of Boehm's
+    PLDI'93 paper.
+
+    Typical use:
+    {[
+      let mem = Mem.create () in
+      let gc = Gc.create mem ~base:(Addr.of_int 0x400000) ~max_bytes:(8*1024*1024) () in
+      Gc.add_static_root gc ~lo ~hi ~label:"data";
+      let cell = Gc.allocate gc 8 in
+      Gc.set_field gc cell 0 some_value;
+      Gc.collect gc
+    ]} *)
+
+open Cgc_vm
+
+type t
+
+exception Out_of_memory of string
+(** Raised when the reserved region cannot satisfy a request even after
+    collecting (the simulated OS has no more memory to give). *)
+
+val create : ?config:Config.t -> Mem.t -> base:Addr.t -> max_bytes:int -> unit -> t
+(** Reserve the heap and, when [config.full_gc_at_startup] is set,
+    immediately run the paper's "normally very fast" startup collection
+    so pre-existing false references are blacklisted before the first
+    allocation.  Register roots {e before} relying on that property, or
+    call {!collect} once after registering them. *)
+
+val config : t -> Config.t
+val mem : t -> Mem.t
+
+(** {1 Roots} *)
+
+val add_static_root : t -> lo:Addr.t -> hi:Addr.t -> label:string -> unit
+val add_dynamic_roots : t -> label:string -> (unit -> Roots.range list) -> unit
+val add_register_roots : t -> label:string -> (unit -> int array) -> unit
+
+val exclude_roots : t -> lo:Addr.t -> hi:Addr.t -> label:string -> unit
+(** Never scan this sub-range of any registered root ("it is useful ...
+    to avoid scanning large static data areas that contain seemingly
+    random, nonpointer areas (e.g. IO buffers)"). *)
+
+val clear_roots : t -> unit
+
+(** {1 Allocation} *)
+
+val allocate : ?pointer_free:bool -> ?finalizer:string -> t -> int -> Addr.t
+(** [allocate gc bytes] returns the base of a fresh object, zeroed when
+    the configuration says so.  [pointer_free] objects are never scanned
+    ("it is essential to provide some way to communicate to the
+    collector at least the fact that an entire large object contains no
+    pointers").  [finalizer] registers a finalization token. *)
+
+val auto_collect : t -> bool
+val set_auto_collect : t -> bool -> unit
+(** When off, collections happen only on explicit {!collect} calls
+    (useful to tests and single-shot experiments). *)
+
+(** {1 Collection} *)
+
+val collect : t -> unit
+(** A full stop-the-world collection: conservative mark from all
+    registered roots (updating the blacklist), then sweep. *)
+
+val drain_pending_sweeps : t -> int
+(** Lazy-sweep mode: finish all deferred sweeping now; returns objects
+    freed.  A no-op (0) in eager mode or when nothing is pending. *)
+
+val trim : t -> int
+(** Return trailing committed-but-free pages to the simulated OS
+    (lowering the committed watermark).  Returns pages released.  The
+    memory stays reserved — the blacklist still covers it — but no
+    longer counts as committed heap. *)
+
+(** {1 Object access} *)
+
+val get_field : t -> Addr.t -> int -> int
+(** [get_field gc base i] reads word [i] of the object at [base]. *)
+
+val set_field : t -> Addr.t -> int -> int -> unit
+
+val find_object : t -> Addr.t -> Addr.t option
+(** Exact (non-configurable) query: base of the allocated object whose
+    extent contains the address, if any.  Used by harnesses to decide
+    retention; always recognizes interior addresses. *)
+
+val is_allocated : t -> Addr.t -> bool
+(** Whether the address is the base of a currently allocated object. *)
+
+val object_size : t -> Addr.t -> int option
+(** Size in bytes of the allocated object based at the address. *)
+
+(** {1 Finalization} *)
+
+val add_finalizer : t -> Addr.t -> token:string -> unit
+val drain_finalized : t -> (Addr.t * string) list
+
+(** {1 Introspection} *)
+
+val stats : t -> Stats.t
+val heap : t -> Heap.t
+val blacklist : t -> Blacklist.t
+val blacklisted_pages : t -> int
+val live_bytes : t -> int
+(** From the statistics of the most recent sweep. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Internals}
+
+    Shared machinery exposed to the sibling baseline collectors
+    ({!Precise}) and to white-box tests.  Not part of the stable API. *)
+module Internal : sig
+  val free_lists : t -> Free_list.t
+  val finalize : t -> Finalize.t
+  val roots : t -> Roots.t
+  val marker : t -> Mark.t
+  val run_sweep : t -> Sweep.result
+  (** Sweep using whatever mark bits are currently set. *)
+
+  val run_mark : t -> unit
+  (** Mark phase only (no sweep): leaves mark bits set for inspection. *)
+
+  val is_marked : t -> Addr.t -> bool
+  (** Valid only between [run_mark] and the next sweep. *)
+end

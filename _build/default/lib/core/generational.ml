@@ -1,0 +1,212 @@
+open Cgc_vm
+
+type stats = {
+  minor_collections : int;
+  major_collections : int;
+  promoted_pages : int;
+  promoted_bytes : int;
+  dirty_pages_scanned : int;
+}
+
+type t = {
+  gc : Gc.t;
+  promote_after : int;
+  age : int array; (* per page: consecutive minor survivals; -1 = promoted (old) *)
+  dirty : Bitset.t; (* old pages written since the last minor collection *)
+  mutable minor_collections : int;
+  mutable major_collections : int;
+  mutable promoted_pages : int;
+  mutable promoted_bytes : int;
+  mutable dirty_pages_scanned : int;
+}
+
+let create ?(promote_after = 2) gc =
+  if promote_after < 1 then invalid_arg "Generational.create: promote_after must be >= 1";
+  if (Gc.config gc).Config.lazy_sweep then
+    invalid_arg "Generational.create: incompatible with lazy_sweep (minor sweeps are eager)";
+  let n = Heap.n_pages (Gc.heap gc) in
+  {
+    gc;
+    promote_after;
+    age = Array.make n 0;
+    dirty = Bitset.create n;
+    minor_collections = 0;
+    major_collections = 0;
+    promoted_pages = 0;
+    promoted_bytes = 0;
+    dirty_pages_scanned = 0;
+  }
+
+let gc t = t.gc
+let heap t = Gc.heap t.gc
+let page_is_old t index = t.age.(index) < 0
+
+let is_old t addr =
+  match Gc.find_object t.gc addr with
+  | Some base -> page_is_old t (Heap.page_index (heap t) base)
+  | None -> false
+
+let get_field t base i = Gc.get_field t.gc base i
+
+(* The write barrier: a pointer store into an old page means the next
+   minor collection must rescan that page. *)
+let set_field t base i v =
+  let index = Heap.page_index (heap t) base in
+  if page_is_old t index then Bitset.add t.dirty index;
+  Gc.set_field t.gc base i v
+
+(* --- minor collection --- *)
+
+(* Young-only conservative marking: old objects are treated as live and
+   opaque; their outgoing pointers are covered by the dirty-page scan. *)
+let minor_mark t =
+  let heap = heap t in
+  let config = Gc.config t.gc in
+  let roots = Gc.Internal.roots t.gc in
+  let blacklist = Gc.blacklist t.gc in
+  (* clear marks on young pages only *)
+  Heap.iter_committed heap (fun i p ->
+      if not (page_is_old t i) then
+        match p with
+        | Page.Small s -> Bitset.clear s.Page.mark
+        | Page.Large_head l -> l.Page.l_marked <- false
+        | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ());
+  let stack = ref [] in
+  let consider value =
+    match Mark.classify heap config value with
+    | Mark.Valid { base; page } ->
+        if (not (page_is_old t page)) && Heap.mark_object heap base then stack := base :: !stack
+    | Mark.False_in_heap { page } ->
+        if config.Config.blacklisting then Blacklist.note blacklist page
+    | Mark.Outside -> ()
+  in
+  let scan_words lo hi =
+    Segment.iter_words (Heap.segment heap) ~alignment:config.Config.alignment ~lo ~hi
+      (fun _ value -> consider value)
+  in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | base :: rest ->
+        stack := rest;
+        let size, pointer_free = Heap.object_span heap base in
+        if not pointer_free then scan_words base (Addr.add base size);
+        drain ()
+  in
+  (* usual conservative roots *)
+  List.iter
+    (fun (_, values) -> Array.iter consider values)
+    (Roots.current_registers roots);
+  drain ();
+  let mem = Gc.mem t.gc in
+  List.iter
+    (fun { Roots.lo; hi; label = _ } ->
+      (match Mem.find mem lo with
+      | None -> ()
+      | Some seg ->
+          Segment.iter_words seg ~alignment:config.Config.alignment ~lo ~hi (fun _ value ->
+              consider value));
+      drain ())
+    (Roots.current_ranges roots);
+  (* dirty old pages: rescan their live objects *)
+  Bitset.iter
+    (fun index ->
+      t.dirty_pages_scanned <- t.dirty_pages_scanned + 1;
+      (match Heap.page heap index with
+      | Page.Small s ->
+          let base = Addr.add (Heap.page_addr heap index) s.Page.first_offset in
+          for obj = 0 to s.Page.n_objects - 1 do
+            if Bitset.mem s.Page.alloc obj && not s.Page.pointer_free then begin
+              let lo = Addr.add base (obj * s.Page.object_bytes) in
+              scan_words lo (Addr.add lo s.Page.object_bytes)
+            end
+          done
+      | Page.Large_head l ->
+          if l.Page.l_allocated && not l.Page.l_pointer_free then begin
+            let lo = Heap.page_addr heap index in
+            scan_words lo (Addr.add lo l.Page.object_bytes)
+          end
+      | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ());
+      drain ())
+    t.dirty;
+  Bitset.clear t.dirty
+
+(* Promotion bookkeeping after a sweep: empty pages rejuvenate, occupied
+   young pages age, old-enough pages are promoted (and their free slots
+   withdrawn so fresh allocation stays young). *)
+let update_ages_after_sweep t =
+  let heap = heap t in
+  let free_lists = Gc.Internal.free_lists t.gc in
+  Heap.iter_committed heap (fun i p ->
+      match p with
+      | Page.Free | Page.Uncommitted ->
+          t.age.(i) <- 0;
+          Bitset.remove t.dirty i
+      | Page.Large_tail _ -> ()
+      | Page.Small s ->
+          if not (page_is_old t i) then begin
+            t.age.(i) <- t.age.(i) + 1;
+            if t.age.(i) >= t.promote_after then begin
+              t.age.(i) <- -1;
+              t.promoted_pages <- t.promoted_pages + 1;
+              t.promoted_bytes <- t.promoted_bytes + (Bitset.count s.Page.alloc * s.Page.object_bytes);
+              Free_list.drop_in_page free_lists ~granules:s.Page.granules
+                ~pointer_free:s.Page.pointer_free
+                ~page_of:(fun a -> Heap.page_index heap (Addr.of_int a))
+                ~page:i
+            end
+          end
+      | Page.Large_head l ->
+          if not (page_is_old t i) then begin
+            t.age.(i) <- t.age.(i) + 1;
+            if t.age.(i) >= t.promote_after then begin
+              for j = i to i + l.Page.n_pages - 1 do
+                t.age.(j) <- -1
+              done;
+              t.promoted_pages <- t.promoted_pages + l.Page.n_pages;
+              t.promoted_bytes <- t.promoted_bytes + l.Page.object_bytes
+            end
+          end)
+
+let minor t =
+  t.minor_collections <- t.minor_collections + 1;
+  minor_mark t;
+  let heap = heap t in
+  let policy i _ = if page_is_old t i then `Keep_live else `Sweep in
+  let (_ : Sweep.result) =
+    Sweep.run ~policy heap (Gc.Internal.free_lists t.gc) (Gc.Internal.finalize t.gc)
+      (Gc.stats t.gc)
+  in
+  update_ages_after_sweep t
+
+let major t =
+  t.major_collections <- t.major_collections + 1;
+  Gc.collect t.gc;
+  let heap = heap t in
+  Heap.iter_committed heap (fun i p ->
+      match p with
+      | Page.Free | Page.Uncommitted ->
+          t.age.(i) <- 0;
+          Bitset.remove t.dirty i
+      | Page.Small _ | Page.Large_head _ | Page.Large_tail _ -> ())
+
+let allocate ?pointer_free ?finalizer t bytes =
+  match Gc.allocate ?pointer_free ?finalizer t.gc bytes with
+  | a -> a
+  | exception Gc.Out_of_memory _ ->
+      major t;
+      Gc.allocate ?pointer_free ?finalizer t.gc bytes
+
+let stats t =
+  {
+    minor_collections = t.minor_collections;
+    major_collections = t.major_collections;
+    promoted_pages = t.promoted_pages;
+    promoted_bytes = t.promoted_bytes;
+    dirty_pages_scanned = t.dirty_pages_scanned;
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "%d minor / %d major collections; %d pages (%d bytes) promoted; %d dirty rescans"
+    s.minor_collections s.major_collections s.promoted_pages s.promoted_bytes
+    s.dirty_pages_scanned

@@ -1,0 +1,162 @@
+open Cgc_vm
+
+type t = {
+  seg : Segment.t;
+  base : Addr.t;
+  page_size : int;
+  page_shift : int;
+  n_pages : int;
+  pages : Page.t array;
+  mutable committed : int; (* pages [0, committed) are committed *)
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create mem ~config ~base ~max_bytes =
+  Config.validate config;
+  let page_size = config.Config.page_size in
+  if not (Addr.is_aligned base page_size) then
+    invalid_arg "Heap.create: base must be page-aligned";
+  let n_pages = (max_bytes + page_size - 1) / page_size in
+  if n_pages < config.Config.initial_pages then
+    invalid_arg "Heap.create: reserved region smaller than initial_pages";
+  let seg =
+    Mem.map mem ~name:"heap" ~kind:Segment.Heap ~base ~size:(n_pages * page_size)
+  in
+  let t =
+    {
+      seg;
+      base;
+      page_size;
+      page_shift = log2 page_size;
+      n_pages;
+      pages = Array.make n_pages Page.Uncommitted;
+      committed = 0;
+    }
+  in
+  for i = 0 to config.Config.initial_pages - 1 do
+    t.pages.(i) <- Page.Free
+  done;
+  t.committed <- config.Config.initial_pages;
+  t
+
+let segment t = t.seg
+let base t = t.base
+let limit_reserved t = Addr.add t.base (t.n_pages * t.page_size)
+let page_size t = t.page_size
+let n_pages t = t.n_pages
+let committed_pages t = t.committed
+let committed_bytes t = t.committed * t.page_size
+let contains t a = Addr.in_range a ~lo:t.base ~hi:(limit_reserved t)
+let page_index t a = Addr.diff a t.base asr t.page_shift
+let page_addr t i = Addr.add t.base (i * t.page_size)
+let page t i = t.pages.(i)
+let set_page t i p = t.pages.(i) <- p
+
+let iter_committed t f =
+  for i = 0 to t.committed - 1 do
+    f i t.pages.(i)
+  done
+
+let find_free_page t ~ok =
+  let rec go i =
+    if i >= t.committed then None
+    else
+      match t.pages.(i) with
+      | Page.Free when ok i -> Some i
+      | Page.Free | Page.Uncommitted | Page.Small _ | Page.Large_head _ | Page.Large_tail _ ->
+          go (i + 1)
+  in
+  go 0
+
+let find_free_run t ~n ~ok =
+  let rec scan start run i =
+    if run = n then Some start
+    else if i >= t.n_pages then None
+    else begin
+      let usable =
+        (match t.pages.(i) with
+        | Page.Free | Page.Uncommitted -> true
+        | Page.Small _ | Page.Large_head _ | Page.Large_tail _ -> false)
+        && ok i
+      in
+      if usable then scan (if run = 0 then i else start) (run + 1) (i + 1)
+      else scan 0 0 (i + 1)
+    end
+  in
+  scan 0 0 0
+
+let uncommit_trailing_free t =
+  let released = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && t.committed > 0 do
+    match t.pages.(t.committed - 1) with
+    | Page.Free ->
+        t.pages.(t.committed - 1) <- Page.Uncommitted;
+        t.committed <- t.committed - 1;
+        incr released
+    | Page.Uncommitted | Page.Small _ | Page.Large_head _ | Page.Large_tail _ ->
+        continue_ := false
+  done;
+  !released
+
+let commit_through t i =
+  if i >= t.n_pages then false
+  else begin
+    for j = t.committed to i do
+      t.pages.(j) <- Page.Free
+    done;
+    if i + 1 > t.committed then t.committed <- i + 1;
+    true
+  end
+
+let free_page_count t =
+  let n = ref 0 in
+  iter_committed t (fun _ p ->
+      match p with
+      | Page.Free -> incr n
+      | Page.Uncommitted | Page.Small _ | Page.Large_head _ | Page.Large_tail _ -> ());
+  !n
+
+let mark_object t base =
+  let index = page_index t base in
+  match t.pages.(index) with
+  | Page.Small s ->
+      let rel = Addr.diff base (page_addr t index) - s.Page.first_offset in
+      let obj = rel / s.Page.object_bytes in
+      if Bitset.mem s.Page.mark obj then false
+      else begin
+        Bitset.add s.Page.mark obj;
+        true
+      end
+  | Page.Large_head l ->
+      if l.Page.l_marked then false
+      else begin
+        l.Page.l_marked <- true;
+        true
+      end
+  | Page.Uncommitted | Page.Free | Page.Large_tail _ ->
+      invalid_arg "Heap.mark_object: not an object base"
+
+let object_span t base =
+  let index = page_index t base in
+  match t.pages.(index) with
+  | Page.Small s -> (s.Page.object_bytes, s.Page.pointer_free)
+  | Page.Large_head l -> (l.Page.object_bytes, l.Page.l_pointer_free)
+  | Page.Uncommitted | Page.Free | Page.Large_tail _ ->
+      invalid_arg "Heap.object_span: not an object base"
+
+let live_bytes t =
+  let total = ref 0 in
+  iter_committed t (fun _ p ->
+      match p with
+      | Page.Small s -> total := !total + (Bitset.count s.alloc * s.object_bytes)
+      | Page.Large_head l -> if l.l_allocated then total := !total + l.object_bytes
+      | Page.Free | Page.Uncommitted | Page.Large_tail _ -> ());
+  !total
+
+let pp ppf t =
+  Format.fprintf ppf "heap %a..%a (%d/%d pages committed, %d free)" Addr.pp t.base Addr.pp
+    (limit_reserved t) t.committed t.n_pages (free_page_count t)

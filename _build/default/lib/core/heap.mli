@@ -1,0 +1,80 @@
+(** The collector-managed heap region.
+
+    One contiguous region of the simulated address space is reserved for
+    the heap at creation time; pages inside it are committed on demand in
+    address order (like [sbrk]).  Because the region is fixed, "the
+    vicinity of the heap" of the paper's figure 2 — addresses that
+    "could conceivably become valid object addresses as a result of
+    later allocation" — is exactly this region, which is what the
+    blacklist covers. *)
+
+open Cgc_vm
+
+type t
+
+val create : Mem.t -> config:Config.t -> base:Addr.t -> max_bytes:int -> t
+(** Reserve [max_bytes] (rounded up to whole pages) at [base] and commit
+    [config.initial_pages]. *)
+
+val segment : t -> Segment.t
+val base : t -> Addr.t
+val limit_reserved : t -> Addr.t
+(** One past the reserved region: any value in [\[base, limit_reserved)]
+    is "in the vicinity of the heap". *)
+
+val page_size : t -> int
+val n_pages : t -> int
+(** Total reserved pages. *)
+
+val committed_pages : t -> int
+val committed_bytes : t -> int
+
+val contains : t -> Addr.t -> bool
+(** Whether an address falls in the reserved region. *)
+
+val page_index : t -> Addr.t -> int
+(** Page number of an address inside the reserved region.  The caller
+    must check {!contains} first. *)
+
+val page_addr : t -> int -> Addr.t
+(** Base address of page [i]. *)
+
+val page : t -> int -> Page.t
+val set_page : t -> int -> Page.t -> unit
+
+val iter_committed : t -> (int -> Page.t -> unit) -> unit
+(** Apply to every committed page in address order. *)
+
+val find_free_page : t -> ok:(int -> bool) -> int option
+(** Lowest committed [Free] page satisfying [ok], if any. *)
+
+val find_free_run : t -> n:int -> ok:(int -> bool) -> int option
+(** Lowest start of [n] consecutive pages, each committed-[Free] or
+    uncommitted and satisfying [ok].  Runs may extend past the committed
+    high-water mark (the pages are then committed by the caller). *)
+
+val uncommit_trailing_free : t -> int
+(** Lower the committed watermark past any trailing [Free] pages,
+    handing them back to the (simulated) OS; returns how many. *)
+
+val commit_through : t -> int -> bool
+(** Ensure pages [0 .. i] are committed; newly committed pages become
+    [Free].  Returns false if [i] exceeds the reserved region. *)
+
+val free_page_count : t -> int
+(** Committed pages currently [Free]. *)
+
+val mark_object : t -> Addr.t -> bool
+(** Set the mark bit of the allocated object based at the address;
+    returns true when it was not already marked.  The address must be a
+    valid object base. *)
+
+val object_span : t -> Addr.t -> int * bool
+(** [(size_bytes, pointer_free)] of the allocated object based at the
+    address (which must be a valid object base). *)
+
+val live_bytes : t -> int
+(** Sum of allocated object bytes over all committed pages (a full scan;
+    meant for statistics and tests, not hot paths). *)
+
+val pp : Format.formatter -> t -> unit

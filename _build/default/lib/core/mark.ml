@@ -1,0 +1,213 @@
+open Cgc_vm
+
+type classification =
+  | Valid of { base : Addr.t; page : int }
+  | False_in_heap of { page : int }
+  | Outside
+
+let classify heap (config : Config.t) value =
+  if not (Heap.contains heap value) then Outside
+  else begin
+    let page = Heap.page_index heap value in
+    let invalid = False_in_heap { page } in
+    match Heap.page heap page with
+    | Page.Uncommitted | Page.Free -> invalid
+    | Page.Small s ->
+        let off_in_page = value - Addr.to_int (Heap.page_addr heap page) in
+        let rel = off_in_page - s.Page.first_offset in
+        if rel < 0 then invalid
+        else begin
+          let index = rel / s.Page.object_bytes in
+          let displacement = rel mod s.Page.object_bytes in
+          if index >= s.Page.n_objects then invalid
+          else if not (Bitset.mem s.Page.alloc index) then invalid
+          else if
+            displacement = 0 || config.Config.interior_pointers
+            || List.mem displacement config.Config.valid_displacements
+          then
+            Valid
+              {
+                base =
+                  Addr.add (Heap.page_addr heap page)
+                    (s.Page.first_offset + (index * s.Page.object_bytes));
+                page;
+              }
+          else invalid
+        end
+    | Page.Large_head l ->
+        if not l.Page.l_allocated then invalid
+        else begin
+          let off = value - Addr.to_int (Heap.page_addr heap page) in
+          if off = 0 then Valid { base = Heap.page_addr heap page; page }
+          else if
+            config.Config.interior_pointers && off < l.Page.object_bytes
+            (* any offset within the first page is within both regimes *)
+          then Valid { base = Heap.page_addr heap page; page }
+          else invalid
+        end
+    | Page.Large_tail { head_index } -> (
+        if not config.Config.interior_pointers then invalid
+        else
+          match config.Config.large_validity with
+          | Config.First_page_only -> invalid
+          | Config.Anywhere -> (
+              match Heap.page heap head_index with
+              | Page.Large_head l when l.Page.l_allocated ->
+                  let off = value - Addr.to_int (Heap.page_addr heap head_index) in
+                  if off < l.Page.object_bytes then
+                    Valid { base = Heap.page_addr heap head_index; page = head_index }
+                  else invalid
+              | Page.Large_head _ | Page.Uncommitted | Page.Free | Page.Small _
+              | Page.Large_tail _ ->
+                  invalid))
+  end
+
+type t = {
+  heap : Heap.t;
+  config : Config.t;
+  blacklist : Blacklist.t;
+  stats : Stats.t;
+  mutable stack : int array; (* object base addresses *)
+  mutable sp : int;
+  mutable overflowed : bool;
+}
+
+let create heap config blacklist stats =
+  { heap; config; blacklist; stats; stack = Array.make 1024 0; sp = 0; overflowed = false }
+
+let push t base =
+  let at_limit =
+    match t.config.Config.mark_stack_limit with
+    | Some limit -> t.sp >= limit
+    | None -> false
+  in
+  if at_limit then begin
+    (* the object IS marked; its children will be found by the
+       overflow-recovery rescan *)
+    if not t.overflowed then t.stats.Stats.mark_stack_overflows <- t.stats.Stats.mark_stack_overflows + 1;
+    t.overflowed <- true
+  end
+  else begin
+    if t.sp = Array.length t.stack then begin
+      let bigger = Array.make (2 * Array.length t.stack) 0 in
+      Array.blit t.stack 0 bigger 0 t.sp;
+      t.stack <- bigger
+    end;
+    t.stack.(t.sp) <- base;
+    t.sp <- t.sp + 1
+  end
+
+let set_mark_bit t page base =
+  match Heap.page t.heap page with
+  | Page.Small s ->
+      let rel = base - Addr.to_int (Heap.page_addr t.heap page) - s.Page.first_offset in
+      let index = rel / s.Page.object_bytes in
+      if Bitset.mem s.Page.mark index then `Already
+      else begin
+        Bitset.add s.Page.mark index;
+        `Newly (s.Page.object_bytes, s.Page.pointer_free)
+      end
+  | Page.Large_head l ->
+      if l.Page.l_marked then `Already
+      else begin
+        l.Page.l_marked <- true;
+        `Newly (l.Page.object_bytes, l.Page.l_pointer_free)
+      end
+  | Page.Uncommitted | Page.Free | Page.Large_tail _ ->
+      (* classify returned Valid, so the page cannot be in these states *)
+      assert false
+
+let consider t value =
+  t.stats.Stats.words_scanned <- t.stats.Stats.words_scanned + 1;
+  match classify t.heap t.config value with
+  | Outside -> ()
+  | False_in_heap { page } ->
+      t.stats.Stats.false_refs <- t.stats.Stats.false_refs + 1;
+      if t.config.Config.blacklisting then Blacklist.note t.blacklist page
+  | Valid { base; page } -> (
+      t.stats.Stats.valid_refs <- t.stats.Stats.valid_refs + 1;
+      match set_mark_bit t page base with
+      | `Already -> ()
+      | `Newly (_, _) ->
+          t.stats.Stats.objects_marked <- t.stats.Stats.objects_marked + 1;
+          push t base)
+
+(* Scan the words of a marked object.  Objects live entirely inside the
+   heap segment, so we read it directly. *)
+let scan_object t base =
+  let page = Heap.page_index t.heap base in
+  let size, pointer_free =
+    match Heap.page t.heap page with
+    | Page.Small s -> (s.Page.object_bytes, s.Page.pointer_free)
+    | Page.Large_head l -> (l.Page.object_bytes, l.Page.l_pointer_free)
+    | Page.Uncommitted | Page.Free | Page.Large_tail _ -> assert false
+  in
+  if not pointer_free then begin
+    let seg = Heap.segment t.heap in
+    Segment.iter_words seg ~alignment:t.config.Config.alignment ~lo:base
+      ~hi:(Addr.add base size)
+      (fun _addr value -> consider t value)
+  end
+
+let drain t =
+  while t.sp > 0 do
+    t.sp <- t.sp - 1;
+    scan_object t t.stack.(t.sp)
+  done
+
+let mark_value t value =
+  consider t value;
+  drain t
+
+let clear_marks heap =
+  Heap.iter_committed heap (fun _ p ->
+      match p with
+      | Page.Small s -> Bitset.clear s.Page.mark
+      | Page.Large_head l -> l.Page.l_marked <- false
+      | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ())
+
+let scan_range t ~mem range =
+  let { Roots.lo; hi; label = _ } = range in
+  match Mem.find mem lo with
+  | None -> ()
+  | Some seg ->
+      Segment.iter_words seg ~alignment:t.config.Config.alignment ~lo ~hi (fun _addr value ->
+          consider t value)
+
+(* Overflow recovery: rescan every already-marked object so dropped
+   children get marked, until no push overflows. *)
+let recover_from_overflow t =
+  while t.overflowed do
+    t.overflowed <- false;
+    Heap.iter_committed t.heap (fun index p ->
+        (match p with
+        | Page.Small s ->
+            let base = Addr.to_int (Heap.page_addr t.heap index) + s.Page.first_offset in
+            for obj = 0 to s.Page.n_objects - 1 do
+              if Bitset.mem s.Page.mark obj then scan_object t (base + (obj * s.Page.object_bytes))
+            done
+        | Page.Large_head l ->
+            if l.Page.l_marked then scan_object t (Addr.to_int (Heap.page_addr t.heap index))
+        | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ());
+        drain t)
+  done
+
+let run t roots ~mem =
+  clear_marks t.heap;
+  t.sp <- 0;
+  t.overflowed <- false;
+  Blacklist.begin_cycle t.blacklist;
+  List.iter
+    (fun (_, values) ->
+      Array.iter
+        (fun v ->
+          consider t v;
+          drain t)
+        values)
+    (Roots.current_registers roots);
+  List.iter
+    (fun range ->
+      scan_range t ~mem range;
+      drain t)
+    (Roots.current_ranges roots);
+  recover_from_overflow t

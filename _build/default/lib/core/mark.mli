@@ -1,0 +1,46 @@
+(** Conservative marking with blacklisting — the paper's figure 2.
+
+    {v
+    mark(p) {
+      if p is not a valid object address
+        if p is in the vicinity of the heap
+          add p to blacklist
+        return
+      if p is marked return
+      set mark bit for p
+      for each field q in the object referenced by p
+        mark(q)
+    }
+    v}
+
+    The recursion is realised with an explicit mark stack; "fields" are
+    every word of the object at the configured alignment, since the
+    collector has no layout information. *)
+
+open Cgc_vm
+
+type classification =
+  | Valid of { base : Addr.t; page : int }
+      (** a reference to (possibly the interior of) a live object *)
+  | False_in_heap of { page : int }
+      (** not a valid object address, but within the reserved heap
+          region — a candidate for blacklisting *)
+  | Outside  (** cannot be or become a heap pointer *)
+
+val classify : Heap.t -> Config.t -> int -> classification
+(** Classify a scanned word value.  Pure with respect to mark state. *)
+
+type t
+
+val create : Heap.t -> Config.t -> Blacklist.t -> Stats.t -> t
+
+val run : t -> Roots.t -> mem:Mem.t -> unit
+(** Perform a full mark phase: clear all mark bits, open a blacklist
+    cycle, scan every root source, and transitively mark through
+    pointer-bearing heap objects.  Statistics are updated; the heap's
+    mark bits are left set for the sweeper. *)
+
+val mark_value : t -> int -> unit
+(** Feed a single word value to the marker and drain the mark stack —
+    exposed for tests and for the retention harness's injected false
+    references. *)

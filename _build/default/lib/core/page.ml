@@ -1,0 +1,63 @@
+open Cgc_vm
+
+type small = {
+  granules : int;
+  object_bytes : int;
+  pointer_free : bool;
+  first_offset : int;
+  n_objects : int;
+  alloc : Bitset.t;
+  mark : Bitset.t;
+}
+
+type large = {
+  n_pages : int;
+  object_bytes : int;
+  l_pointer_free : bool;
+  mutable l_allocated : bool;
+  mutable l_marked : bool;
+}
+
+type t =
+  | Uncommitted
+  | Free
+  | Small of small
+  | Large_head of large
+  | Large_tail of { head_index : int }
+
+let make_small ~granules ~object_bytes ~pointer_free ~first_offset ~n_objects =
+  Small
+    {
+      granules;
+      object_bytes;
+      pointer_free;
+      first_offset;
+      n_objects;
+      alloc = Bitset.create n_objects;
+      mark = Bitset.create n_objects;
+    }
+
+let make_large ~n_pages ~object_bytes ~pointer_free =
+  Large_head { n_pages; object_bytes; l_pointer_free = pointer_free; l_allocated = true; l_marked = false }
+
+let is_free_or_uncommitted = function
+  | Uncommitted | Free -> true
+  | Small _ | Large_head _ | Large_tail _ -> false
+
+let live_objects = function
+  | Uncommitted | Free | Large_tail _ -> 0
+  | Small s -> Bitset.count s.alloc
+  | Large_head l -> if l.l_allocated then 1 else 0
+
+let pp ppf = function
+  | Uncommitted -> Format.pp_print_string ppf "uncommitted"
+  | Free -> Format.pp_print_string ppf "free"
+  | Small s ->
+      Format.fprintf ppf "small(%dB%s %d/%d live)" s.object_bytes
+        (if s.pointer_free then " atomic" else "")
+        (Bitset.count s.alloc) s.n_objects
+  | Large_head l ->
+      Format.fprintf ppf "large(%dB over %d pages%s %s)" l.object_bytes l.n_pages
+        (if l.l_pointer_free then " atomic" else "")
+        (if l.l_allocated then "live" else "dead")
+  | Large_tail { head_index } -> Format.fprintf ppf "large-tail(head=%d)" head_index

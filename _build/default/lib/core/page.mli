@@ -1,0 +1,47 @@
+(** Heap page descriptors.
+
+    The heap is an array of fixed-size pages ("heap blocks"); each
+    committed page is either dedicated to small objects of one size
+    class, or part of a multi-page large object.  Mark and allocation
+    state live in the descriptor, not in the objects — objects are
+    headerless. *)
+
+open Cgc_vm
+
+type small = {
+  granules : int;  (** object size in granules *)
+  object_bytes : int;  (** object size in bytes *)
+  pointer_free : bool;  (** contents never scanned (atomic objects) *)
+  first_offset : int;  (** byte offset of the first object in the page *)
+  n_objects : int;
+  alloc : Bitset.t;  (** object currently allocated *)
+  mark : Bitset.t;  (** object reached during the current/last mark *)
+}
+
+type large = {
+  n_pages : int;
+  object_bytes : int;  (** exact size requested, may not fill the last page *)
+  l_pointer_free : bool;
+  mutable l_allocated : bool;
+  mutable l_marked : bool;
+}
+
+type t =
+  | Uncommitted  (** reserved for the heap but not yet obtained *)
+  | Free  (** committed and empty *)
+  | Small of small
+  | Large_head of large
+  | Large_tail of { head_index : int }
+
+val make_small :
+  granules:int -> object_bytes:int -> pointer_free:bool -> first_offset:int -> n_objects:int -> t
+
+val make_large : n_pages:int -> object_bytes:int -> pointer_free:bool -> t
+
+val is_free_or_uncommitted : t -> bool
+
+val live_objects : t -> int
+(** Allocated objects on this page (0 for [Free], [Uncommitted] and
+    [Large_tail]; 0 or 1 for [Large_head]). *)
+
+val pp : Format.formatter -> t -> unit

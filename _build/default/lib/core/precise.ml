@@ -1,0 +1,76 @@
+open Cgc_vm
+
+type t = {
+  gc : Gc.t;
+  descs : (Addr.t, Type_desc.t) Hashtbl.t;
+  mutable providers : (unit -> Addr.t list) list;
+}
+
+let create gc = { gc; descs = Hashtbl.create 256; providers = [] }
+let gc t = t.gc
+
+let allocate ?finalizer t desc =
+  let base = Gc.allocate ?finalizer t.gc desc.Type_desc.size_bytes in
+  Hashtbl.replace t.descs base desc;
+  base
+
+let add_root_provider t f = t.providers <- f :: t.providers
+
+let descriptor t addr =
+  if Gc.is_allocated t.gc addr then Hashtbl.find_opt t.descs addr else None
+
+let clear_marks heap =
+  Heap.iter_committed heap (fun _ p ->
+      match p with
+      | Page.Small s -> Bitset.clear s.Page.mark
+      | Page.Large_head l -> l.Page.l_marked <- false
+      | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ())
+
+let set_mark heap base =
+  let index = Heap.page_index heap base in
+  match Heap.page heap index with
+  | Page.Small s ->
+      let rel = Addr.diff base (Heap.page_addr heap index) - s.Page.first_offset in
+      let obj = rel / s.Page.object_bytes in
+      if Bitset.mem s.Page.mark obj then `Already
+      else begin
+        Bitset.add s.Page.mark obj;
+        `Newly
+      end
+  | Page.Large_head l ->
+      if l.Page.l_marked then `Already
+      else begin
+        l.Page.l_marked <- true;
+        `Newly
+      end
+  | Page.Uncommitted | Page.Free | Page.Large_tail _ -> `Already
+
+let collect t =
+  let heap = Gc.heap t.gc in
+  clear_marks heap;
+  let stack = ref [] in
+  let push_if_object value =
+    if Gc.is_allocated t.gc value then
+      match set_mark heap value with
+      | `Newly -> stack := value :: !stack
+      | `Already -> ()
+  in
+  List.iter (fun f -> List.iter push_if_object (f ())) t.providers;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | base :: rest ->
+        stack := rest;
+        (match Hashtbl.find_opt t.descs base with
+        | None -> () (* unknown layout: treat as atomic *)
+        | Some desc ->
+            Array.iter
+              (fun off -> push_if_object (Gc.get_field t.gc base (off / 4)))
+              desc.Type_desc.pointer_offsets);
+        drain ()
+  in
+  drain ();
+  let (_ : Sweep.result) = Gc.Internal.run_sweep t.gc in
+  ()
+
+let live_objects t = (Gc.stats t.gc).Stats.live_objects

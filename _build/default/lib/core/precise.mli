@@ -1,0 +1,36 @@
+(** Precise (type-accurate) mark-sweep baseline.
+
+    The control for every misidentification experiment: it shares the
+    conservative collector's heap, allocator and sweeper but marks from
+    an {e exact} root set through {e exact} pointer maps
+    ({!Type_desc.t}), so "there are no false references in our sense"
+    (paper section 4).  Differences in retention between this collector
+    and the conservative one are, by construction, entirely due to
+    conservativism. *)
+
+open Cgc_vm
+
+type t
+
+val create : Gc.t -> t
+(** Wrap a conservative collector's machinery.  The wrapped [Gc.t]
+    should have auto-collection turned off and should not be collected
+    conservatively while the precise view is in use (the two marking
+    disciplines would disagree about liveness). *)
+
+val gc : t -> Gc.t
+
+val allocate : ?finalizer:string -> t -> Type_desc.t -> Addr.t
+(** Allocate an object of the described type and remember its layout. *)
+
+val add_root_provider : t -> (unit -> Addr.t list) -> unit
+(** Register a provider of exact root object addresses (bases). *)
+
+val collect : t -> unit
+(** Exact mark from the registered roots, then sweep (shared sweeper;
+    finalization behaves identically). *)
+
+val descriptor : t -> Addr.t -> Type_desc.t option
+
+val live_objects : t -> int
+(** From the shared statistics of the most recent sweep. *)

@@ -1,0 +1,28 @@
+type t = {
+  granule : int;
+  page_size : int;
+  max_small : int;
+}
+
+let create (config : Config.t) =
+  {
+    granule = config.Config.granule;
+    page_size = config.Config.page_size;
+    max_small = Config.max_small_bytes config;
+  }
+
+let granule t = t.granule
+let max_small_bytes t = t.max_small
+let is_small t bytes = bytes <= t.max_small
+
+let granules_for t bytes =
+  if bytes <= 0 then invalid_arg "Size_class.granules_for: non-positive request";
+  (bytes + t.granule - 1) / t.granule
+
+let bytes_of_granules t g = g * t.granule
+let n_classes t = t.max_small / t.granule
+
+let objects_per_page t ~granules ~first_offset =
+  if granules < 1 then invalid_arg "Size_class.objects_per_page: granules < 1";
+  let usable = t.page_size - first_offset in
+  usable / (granules * t.granule)

@@ -1,0 +1,32 @@
+(** Size classes for small objects.
+
+    Like Boehm's collector, each heap page is dedicated to objects of a
+    single size, measured in granules (machine words).  Objects carry no
+    headers: an object's size is implied by its page, which is what makes
+    the 4-byte cons cells of the paper's program T possible. *)
+
+type t
+
+val create : Config.t -> t
+
+val granule : t -> int
+(** Granule size in bytes. *)
+
+val max_small_bytes : t -> int
+
+val is_small : t -> int -> bool
+(** Whether a request of that many bytes is served from size-class
+    pages. *)
+
+val granules_for : t -> int -> int
+(** [granules_for t bytes] is the number of granules needed for a
+    request ([>= 1]); the class index of the request. *)
+
+val bytes_of_granules : t -> int -> int
+
+val n_classes : t -> int
+(** Number of small size classes; class indexes run [1 .. n_classes]. *)
+
+val objects_per_page : t -> granules:int -> first_offset:int -> int
+(** How many objects of the given class fit on a page whose first object
+    starts at byte [first_offset]. *)

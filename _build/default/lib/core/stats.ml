@@ -1,0 +1,83 @@
+type t = {
+  mutable collections : int;
+  mutable words_scanned : int;
+  mutable valid_refs : int;
+  mutable false_refs : int;
+  mutable objects_marked : int;
+  mutable bytes_allocated : int;
+  mutable objects_allocated : int;
+  mutable bytes_freed : int;
+  mutable objects_freed : int;
+  mutable live_bytes : int;
+  mutable live_objects : int;
+  mutable heap_expansions : int;
+  mutable mark_stack_overflows : int;
+  mutable blacklist_alloc_checks : int;
+  mutable blacklist_rejected_pages : int;
+  mutable mark_seconds : float;
+  mutable sweep_seconds : float;
+  mutable total_gc_seconds : float;
+}
+
+let create () =
+  {
+    collections = 0;
+    words_scanned = 0;
+    valid_refs = 0;
+    false_refs = 0;
+    objects_marked = 0;
+    bytes_allocated = 0;
+    objects_allocated = 0;
+    bytes_freed = 0;
+    objects_freed = 0;
+    live_bytes = 0;
+    live_objects = 0;
+    heap_expansions = 0;
+    mark_stack_overflows = 0;
+    blacklist_alloc_checks = 0;
+    blacklist_rejected_pages = 0;
+    mark_seconds = 0.;
+    sweep_seconds = 0.;
+    total_gc_seconds = 0.;
+  }
+
+let reset t =
+  t.collections <- 0;
+  t.words_scanned <- 0;
+  t.valid_refs <- 0;
+  t.false_refs <- 0;
+  t.objects_marked <- 0;
+  t.bytes_allocated <- 0;
+  t.objects_allocated <- 0;
+  t.bytes_freed <- 0;
+  t.objects_freed <- 0;
+  t.live_bytes <- 0;
+  t.live_objects <- 0;
+  t.heap_expansions <- 0;
+  t.mark_stack_overflows <- 0;
+  t.blacklist_alloc_checks <- 0;
+  t.blacklist_rejected_pages <- 0;
+  t.mark_seconds <- 0.;
+  t.sweep_seconds <- 0.;
+  t.total_gc_seconds <- 0.
+
+let copy t = { t with collections = t.collections }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>collections     %d@,\
+     words scanned   %d@,\
+     valid refs      %d@,\
+     false refs      %d@,\
+     objects marked  %d@,\
+     allocated       %d objects / %d bytes@,\
+     freed           %d objects / %d bytes@,\
+     live            %d objects / %d bytes@,\
+     heap expansions %d@,\
+     mark overflows  %d@,\
+     blacklist       %d alloc checks, %d pages rejected@,\
+     gc time         %.6fs (mark %.6fs, sweep %.6fs)@]"
+    t.collections t.words_scanned t.valid_refs t.false_refs t.objects_marked t.objects_allocated
+    t.bytes_allocated t.objects_freed t.bytes_freed t.live_objects t.live_bytes t.heap_expansions
+    t.mark_stack_overflows t.blacklist_alloc_checks t.blacklist_rejected_pages
+    t.total_gc_seconds t.mark_seconds t.sweep_seconds

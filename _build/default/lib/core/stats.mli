@@ -1,0 +1,32 @@
+(** Collector statistics.
+
+    Besides the usual allocation/reclamation counters, we count the
+    quantities the paper reports on directly: false references seen
+    while marking, blacklist bookkeeping operations (behind the "usually
+    less than 1%" overhead claim of footnote 3), and per-phase time. *)
+
+type t = {
+  mutable collections : int;
+  mutable words_scanned : int;  (** root + heap words examined by the marker *)
+  mutable valid_refs : int;  (** scanned values that named a live object *)
+  mutable false_refs : int;  (** scanned values inside the heap region that named no object *)
+  mutable objects_marked : int;
+  mutable bytes_allocated : int;  (** cumulative *)
+  mutable objects_allocated : int;
+  mutable bytes_freed : int;
+  mutable objects_freed : int;
+  mutable live_bytes : int;  (** after the most recent sweep *)
+  mutable live_objects : int;
+  mutable heap_expansions : int;
+  mutable mark_stack_overflows : int;
+  mutable blacklist_alloc_checks : int;  (** allocation-side page checks *)
+  mutable blacklist_rejected_pages : int;  (** fresh-page choices vetoed by the blacklist *)
+  mutable mark_seconds : float;
+  mutable sweep_seconds : float;
+  mutable total_gc_seconds : float;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+open Cgc_vm
+
+type result = {
+  swept_objects : int;
+  swept_bytes : int;
+  live_objects : int;
+  live_bytes : int;
+  pages_released : int;
+}
+
+let sweep_page heap free_lists finalize stats index =
+  let freed = ref 0 in
+  (match Heap.page heap index with
+  | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ()
+  | Page.Small s ->
+      let page_base = Addr.to_int (Heap.page_addr heap index) + s.Page.first_offset in
+      for obj = 0 to s.Page.n_objects - 1 do
+        if Bitset.mem s.Page.alloc obj && not (Bitset.mem s.Page.mark obj) then begin
+          Bitset.remove s.Page.alloc obj;
+          incr freed;
+          stats.Stats.objects_freed <- stats.Stats.objects_freed + 1;
+          stats.Stats.bytes_freed <- stats.Stats.bytes_freed + s.Page.object_bytes;
+          let a = page_base + (obj * s.Page.object_bytes) in
+          Finalize.on_reclaimed finalize a;
+          Free_list.add free_lists ~granules:s.Page.granules ~pointer_free:s.Page.pointer_free a
+        end
+      done;
+      Bitset.clear s.Page.mark;
+      if Bitset.is_empty s.Page.alloc then begin
+        Free_list.drop_in_page free_lists ~granules:s.Page.granules
+          ~pointer_free:s.Page.pointer_free
+          ~page_of:(fun a -> Heap.page_index heap (Addr.of_int a))
+          ~page:index;
+        Heap.set_page heap index Page.Free
+      end
+  | Page.Large_head l ->
+      if l.Page.l_allocated && not l.Page.l_marked then begin
+        l.Page.l_allocated <- false;
+        incr freed;
+        stats.Stats.objects_freed <- stats.Stats.objects_freed + 1;
+        stats.Stats.bytes_freed <- stats.Stats.bytes_freed + l.Page.object_bytes;
+        Finalize.on_reclaimed finalize (Addr.to_int (Heap.page_addr heap index));
+        for j = index to index + l.Page.n_pages - 1 do
+          Heap.set_page heap j Page.Free
+        done
+      end;
+      l.Page.l_marked <- false);
+  !freed
+
+let default_policy _ _ = `Sweep
+
+let run ?(policy = default_policy) heap free_lists finalize stats =
+  let page_size = Heap.page_size heap in
+  let n_classes = page_size / 8 in
+  (* Address-ordered accumulators, built in reverse and flipped at the
+     end.  Index 0 is unused (class indexes start at 1). *)
+  let acc_normal = Array.make (n_classes + 1) [] in
+  let acc_atomic = Array.make (n_classes + 1) [] in
+  let swept_objects = ref 0 in
+  let swept_bytes = ref 0 in
+  let live_objects = ref 0 in
+  let live_bytes = ref 0 in
+  let pages_released = ref 0 in
+  let n_committed = Heap.committed_pages heap in
+  for i = 0 to n_committed - 1 do
+    match (Heap.page heap i, policy i (Heap.page heap i)) with
+    | (Page.Uncommitted | Page.Free | Page.Large_tail _), _ -> ()
+    | Page.Small s, `Keep_live ->
+        let live_here = Bitset.count s.Page.alloc in
+        live_objects := !live_objects + live_here;
+        live_bytes := !live_bytes + (live_here * s.Page.object_bytes)
+    | Page.Large_head l, `Keep_live ->
+        if l.Page.l_allocated then begin
+          incr live_objects;
+          live_bytes := !live_bytes + l.Page.object_bytes
+        end
+    | Page.Small s, `Sweep ->
+        let page_base = Addr.to_int (Heap.page_addr heap i) + s.Page.first_offset in
+        let live_here = ref 0 in
+        for index = 0 to s.Page.n_objects - 1 do
+          if Bitset.mem s.Page.alloc index then begin
+            if Bitset.mem s.Page.mark index then incr live_here
+            else begin
+              Bitset.remove s.Page.alloc index;
+              incr swept_objects;
+              swept_bytes := !swept_bytes + s.Page.object_bytes;
+              Finalize.on_reclaimed finalize (page_base + (index * s.Page.object_bytes))
+            end
+          end
+        done;
+        Bitset.clear s.Page.mark;
+        if !live_here = 0 then begin
+          Heap.set_page heap i Page.Free;
+          incr pages_released
+        end
+        else begin
+          live_objects := !live_objects + !live_here;
+          live_bytes := !live_bytes + (!live_here * s.Page.object_bytes);
+          let acc = if s.Page.pointer_free then acc_atomic else acc_normal in
+          for index = 0 to s.Page.n_objects - 1 do
+            if not (Bitset.mem s.Page.alloc index) then
+              acc.(s.Page.granules) <-
+                (page_base + (index * s.Page.object_bytes)) :: acc.(s.Page.granules)
+          done
+        end
+    | Page.Large_head l, `Sweep ->
+        if l.Page.l_allocated then begin
+          if l.Page.l_marked then begin
+            incr live_objects;
+            live_bytes := !live_bytes + l.Page.object_bytes
+          end
+          else begin
+            l.Page.l_allocated <- false;
+            incr swept_objects;
+            swept_bytes := !swept_bytes + l.Page.object_bytes;
+            Finalize.on_reclaimed finalize (Addr.to_int (Heap.page_addr heap i));
+            for j = i to i + l.Page.n_pages - 1 do
+              Heap.set_page heap j Page.Free
+            done;
+            pages_released := !pages_released + l.Page.n_pages
+          end
+        end;
+        l.Page.l_marked <- false
+  done;
+  for granules = 1 to n_classes do
+    Free_list.set_class free_lists ~granules ~pointer_free:false (List.rev acc_normal.(granules));
+    Free_list.set_class free_lists ~granules ~pointer_free:true (List.rev acc_atomic.(granules))
+  done;
+  stats.Stats.objects_freed <- stats.Stats.objects_freed + !swept_objects;
+  stats.Stats.bytes_freed <- stats.Stats.bytes_freed + !swept_bytes;
+  stats.Stats.live_objects <- !live_objects;
+  stats.Stats.live_bytes <- !live_bytes;
+  {
+    swept_objects = !swept_objects;
+    swept_bytes = !swept_bytes;
+    live_objects = !live_objects;
+    live_bytes = !live_bytes;
+    pages_released = !pages_released;
+  }

@@ -1,0 +1,30 @@
+(** Object layout descriptors.
+
+    The conservative collector never needs these — that is its point —
+    but the {e precise} baseline collector ({!Precise}) does, and the
+    mutator's typed object builders use them to know where pointer
+    fields live.  A descriptor gives an object's size and the byte
+    offsets of its pointer fields. *)
+
+type t = private {
+  name : string;
+  size_bytes : int;
+  pointer_offsets : int array;  (** strictly increasing, word-aligned *)
+}
+
+val make : name:string -> size_bytes:int -> pointer_offsets:int list -> t
+(** @raise Invalid_argument if an offset is unaligned, out of bounds or
+    out of order. *)
+
+val atomic : name:string -> size_bytes:int -> t
+(** A descriptor with no pointer fields. *)
+
+val is_atomic : t -> bool
+
+val cons : t
+(** Two words: car, cdr — the "lisp-style cons-cell" of section 4. *)
+
+val link_cell : t
+(** One word: a bare next pointer — program T's 4-byte list cell. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+open Cgc_vm
+
+let check_page_table heap issues =
+  let n = Heap.n_pages heap in
+  let committed = Heap.committed_pages heap in
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  for i = 0 to n - 1 do
+    let p = Heap.page heap i in
+    if i >= committed then begin
+      match p with
+      | Page.Uncommitted -> ()
+      | Page.Free | Page.Small _ | Page.Large_head _ | Page.Large_tail _ ->
+          add "page %d beyond the committed watermark is not Uncommitted" i
+    end
+    else begin
+      match p with
+      | Page.Uncommitted -> add "committed page %d is Uncommitted" i
+      | Page.Free -> ()
+      | Page.Small s ->
+          let page_size = Heap.page_size heap in
+          if s.Page.first_offset + (s.Page.n_objects * s.Page.object_bytes) > page_size then
+            add "small page %d overflows its page (%d objects of %d bytes at offset %d)" i
+              s.Page.n_objects s.Page.object_bytes s.Page.first_offset;
+          if s.Page.object_bytes <> s.Page.granules * 4 then
+            add "small page %d: object_bytes %d does not match %d granules" i s.Page.object_bytes
+              s.Page.granules
+      | Page.Large_head l ->
+          if l.Page.n_pages < 1 then add "large head %d with n_pages %d" i l.Page.n_pages;
+          if i + l.Page.n_pages > n then add "large object at %d exceeds the reserved region" i;
+          for j = i + 1 to min (n - 1) (i + l.Page.n_pages - 1) do
+            match Heap.page heap j with
+            | Page.Large_tail { head_index } when head_index = i -> ()
+            | _ -> add "page %d should be a tail of the large object at %d" j i
+          done
+      | Page.Large_tail { head_index } -> (
+          match if head_index >= 0 && head_index < n then Heap.page heap head_index else Page.Free with
+          | Page.Large_head l when head_index < i && i < head_index + l.Page.n_pages -> ()
+          | _ -> add "tail page %d has a dangling head index %d" i head_index)
+    end
+  done
+
+let check_free_lists gc issues =
+  let heap = Gc.heap gc in
+  let free_lists = Gc.Internal.free_lists gc in
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  let seen = Hashtbl.create 256 in
+  let n_classes = Heap.page_size heap / 8 in
+  List.iter
+    (fun pointer_free ->
+      for granules = 1 to n_classes do
+        let items = Free_list.to_list free_lists ~granules ~pointer_free in
+        List.iter
+          (fun a ->
+            if Hashtbl.mem seen a then add "free slot 0x%08x appears twice" a;
+            Hashtbl.replace seen a ();
+            if not (Heap.contains heap a) then add "free slot 0x%08x outside the heap" a
+            else begin
+              let index = Heap.page_index heap a in
+              match Heap.page heap index with
+              | Page.Small s ->
+                  if s.Page.granules <> granules then
+                    add "free slot 0x%08x on a page of class %d, listed under %d" a s.Page.granules
+                      granules;
+                  if s.Page.pointer_free <> pointer_free then
+                    add "free slot 0x%08x kind mismatch" a;
+                  let rel = a - Cgc_vm.Addr.to_int (Heap.page_addr heap index) - s.Page.first_offset in
+                  if rel < 0 || rel mod s.Page.object_bytes <> 0 then
+                    add "free slot 0x%08x misaligned in its page" a
+                  else if Bitset.mem s.Page.alloc (rel / s.Page.object_bytes) then
+                    add "free slot 0x%08x is allocated" a
+              | Page.Free | Page.Uncommitted | Page.Large_head _ | Page.Large_tail _ ->
+                  add "free slot 0x%08x on a non-small page" a
+            end)
+          items
+      done)
+    [ false; true ]
+
+let check_finalizers gc issues =
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  Finalize.iter_registered
+    (fun a token ->
+      if not (Gc.is_allocated gc a) then
+        add "finalizer %S watches the unallocated address 0x%08x" token (Cgc_vm.Addr.to_int a))
+    (Gc.Internal.finalize gc)
+
+let check_live_accounting gc issues =
+  let heap = Gc.heap gc in
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  let recomputed = Heap.live_bytes heap in
+  if recomputed < 0 then add "negative live bytes %d" recomputed
+
+let check gc =
+  let issues = ref [] in
+  check_page_table (Gc.heap gc) issues;
+  check_free_lists gc issues;
+  check_finalizers gc issues;
+  check_live_accounting gc issues;
+  List.rev !issues
+
+let check_after_collect gc =
+  let issues = ref (List.rev (check gc)) in
+  let heap = Gc.heap gc in
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  Heap.iter_committed heap (fun i p ->
+      match p with
+      | Page.Small s ->
+          if not (Bitset.is_empty s.Page.mark) then add "mark bits left set on page %d after sweep" i
+      | Page.Large_head _ | Page.Free | Page.Uncommitted | Page.Large_tail _ -> ());
+  let stats = Gc.stats gc in
+  let recomputed = Heap.live_bytes heap in
+  if stats.Stats.live_bytes <> recomputed then
+    add "stats live_bytes %d disagrees with the heap's %d" stats.Stats.live_bytes recomputed;
+  List.rev !issues

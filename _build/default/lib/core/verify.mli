@@ -1,0 +1,25 @@
+(** Internal consistency checking.
+
+    [check gc] audits the collector's data structures — page-table
+    shape, free-list integrity, generation-independent accounting — and
+    returns a list of human-readable violations (empty when healthy).
+    Tests run it after randomized operation sequences; it is cheap
+    enough to call in anger when debugging the collector itself. *)
+
+val check : Gc.t -> string list
+(** Verified invariants:
+    - committed/uncommitted page-table shape is well-formed;
+    - every large object's tail pages point back at its head and lie
+      within the object's extent;
+    - small-page geometry fits inside the page;
+    - every free-list entry addresses an unallocated, correctly aligned
+      slot of a page of the matching size class and kind, and no slot
+      appears twice;
+    - every registered finalizer watches a currently allocated object;
+    - [Heap.live_bytes] is internally consistent with the page
+      descriptors. *)
+
+val check_after_collect : Gc.t -> string list
+(** Everything {!check} does, plus post-collection-only invariants: all
+    small-page mark bits are clear and the statistics' live counters
+    agree with the heap. *)

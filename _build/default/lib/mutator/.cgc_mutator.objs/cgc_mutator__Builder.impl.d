@@ -1,0 +1,1 @@
+lib/mutator/builder.ml: Addr Array Cgc Cgc_vm Fun List Machine

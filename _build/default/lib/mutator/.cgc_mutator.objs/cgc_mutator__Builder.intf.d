@@ -1,0 +1,1 @@
+lib/mutator/builder.mli: Addr Cgc_vm Machine

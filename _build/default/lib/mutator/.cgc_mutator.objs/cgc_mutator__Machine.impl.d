@@ -1,0 +1,1 @@
+lib/mutator/machine.ml: Addr Array Cgc Cgc_vm Format Fun Mem Rng Segment

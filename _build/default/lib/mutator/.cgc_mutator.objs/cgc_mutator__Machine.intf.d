@@ -1,0 +1,1 @@
+lib/mutator/machine.mli: Addr Cgc Cgc_vm Format Mem Segment

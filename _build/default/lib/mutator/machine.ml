@@ -1,0 +1,210 @@
+open Cgc_vm
+
+type config = {
+  n_registers : int;
+  register_residue : float;
+  syscall_noise : float;
+  frame_padding : int;
+  clear_frames_on_entry : bool;
+  clear_frames_on_exit : bool;
+  allocator_self_cleanup : bool;
+  stack_clearing : bool;
+  stack_clear_period : int;
+  stack_clear_words : int;
+}
+
+let default_config =
+  {
+    n_registers = 32;
+    register_residue = 0.;
+    syscall_noise = 0.;
+    frame_padding = 2;
+    clear_frames_on_entry = false;
+    clear_frames_on_exit = false;
+    allocator_self_cleanup = true;
+    stack_clearing = false;
+    stack_clear_period = 64;
+    stack_clear_words = 256;
+  }
+
+let careless_config =
+  {
+    default_config with
+    frame_padding = 8;
+    allocator_self_cleanup = false;
+    stack_clearing = false;
+  }
+
+let hygienic_config =
+  { default_config with allocator_self_cleanup = true; stack_clearing = true }
+
+type t = {
+  mem : Mem.t;
+  gc : Cgc.Gc.t;
+  rng : Rng.t;
+  config : config;
+  stack : Segment.t;
+  stack_base : Addr.t; (* == Segment.limit stack *)
+  mutable sp : Addr.t;
+  mutable low_water : Addr.t;
+  registers : int array;
+  mutable alloc_count : int;
+  mutable park_restore : Addr.t option;
+}
+
+type frame = {
+  machine : t;
+  f_base : Addr.t; (* lowest address of the frame's locals *)
+  f_slots : int;
+}
+
+let word = 4
+
+let create ?(config = default_config) ?(seed = 42) mem ~stack ~gc =
+  if config.n_registers < 4 then invalid_arg "Machine.create: need at least 4 registers";
+  let stack_base = Segment.limit stack in
+  let t =
+    {
+      mem;
+      gc;
+      rng = Rng.create seed;
+      config;
+      stack;
+      stack_base;
+      sp = stack_base;
+      low_water = stack_base;
+      registers = Array.make config.n_registers 0;
+      alloc_count = 0;
+      park_restore = None;
+    }
+  in
+  Cgc.Gc.add_register_roots gc ~label:"machine registers" (fun () -> t.registers);
+  Cgc.Gc.add_dynamic_roots gc ~label:"machine stack" (fun () ->
+      [ { Cgc.Roots.lo = t.sp; hi = t.stack_base; label = "live stack" } ]);
+  t
+
+let gc t = t.gc
+let config t = t.config
+let stack_pointer t = t.sp
+let stack_base t = t.stack_base
+let low_water t = t.low_water
+let live_stack_words t = Addr.diff t.stack_base t.sp / word
+let n_registers t = t.config.n_registers
+let get_register t i = t.registers.(i)
+let set_register t i v = t.registers.(i) <- v land 0xFFFFFFFF
+let clear_registers t = Array.fill t.registers 0 (Array.length t.registers) 0
+let allocation_count t = t.alloc_count
+
+(* A value below the live stack: stale unless someone clears it. *)
+let dead_region t = (Segment.base t.stack, t.sp)
+
+let clear_dead_stack t ?words () =
+  let lo, hi = dead_region t in
+  let lo =
+    match words with
+    | None -> lo
+    | Some w -> Addr.of_int (max (Addr.to_int lo) (Addr.to_int hi - (w * word)))
+  in
+  let len = Addr.diff hi lo in
+  if len > 0 then Segment.zero_range t.stack lo ~len
+
+(* Registers 0-7 model values the compiled code actively keeps live;
+   residue and kernel noise only ever lands in the caller-saved upper
+   registers, which the conservative scan nonetheless sees. *)
+let context_switch_noise t =
+  for _ = 1 to 8 do
+    if Rng.chance t.rng t.config.syscall_noise then begin
+      let reg = 8 + Rng.int t.rng (t.config.n_registers - 8) in
+      t.registers.(reg) <- Rng.word t.rng
+    end
+  done
+
+let residue_noise t =
+  if t.config.register_residue > 0. && Rng.chance t.rng t.config.register_residue then begin
+    (* A register window rotates in, exposing a stale stack value. *)
+    let lo, hi = dead_region t in
+    let dead_words = Addr.diff hi lo / word in
+    if dead_words > 0 then begin
+      let a = Addr.add lo (word * Rng.int t.rng dead_words) in
+      let reg = 8 + Rng.int t.rng (t.config.n_registers - 8) in
+      t.registers.(reg) <- Segment.read_word t.stack a
+    end
+  end
+
+let push_frame t ~slots =
+  let total_words = slots + t.config.frame_padding in
+  let new_sp = Addr.add t.sp (-(total_words * word)) in
+  if Addr.to_int new_sp < Addr.to_int (Segment.base t.stack) then
+    failwith "Machine: simulated stack overflow";
+  t.sp <- new_sp;
+  if Addr.to_int new_sp < Addr.to_int t.low_water then t.low_water <- new_sp;
+  if t.config.clear_frames_on_entry then
+    Segment.zero_range t.stack new_sp ~len:(total_words * word);
+  { machine = t; f_base = new_sp; f_slots = slots }
+
+let pop_frame t frame =
+  if t.config.clear_frames_on_exit then begin
+    let total_words = frame.f_slots + t.config.frame_padding in
+    Segment.zero_range t.stack frame.f_base ~len:(total_words * word)
+  end;
+  t.sp <- Addr.add frame.f_base ((frame.f_slots + t.config.frame_padding) * word)
+
+let call t ~slots f =
+  residue_noise t;
+  let frame = push_frame t ~slots in
+  Fun.protect ~finally:(fun () -> pop_frame t frame) (fun () -> f frame)
+
+let local_addr frame i =
+  if i < 0 || i >= frame.f_slots then invalid_arg "Machine.local_addr: slot out of range";
+  Addr.add frame.f_base (i * word)
+
+let get_local frame i = Segment.read_word frame.machine.stack (local_addr frame i)
+let set_local frame i v = Segment.write_word frame.machine.stack (local_addr frame i) v
+
+let park t ~words =
+  if t.park_restore <> None then failwith "Machine.park: already parked";
+  let new_sp = Addr.add t.sp (-(words * word)) in
+  if Addr.to_int new_sp < Addr.to_int (Segment.base t.stack) then
+    failwith "Machine.park: simulated stack overflow";
+  t.park_restore <- Some t.sp;
+  t.sp <- new_sp;
+  if Addr.to_int new_sp < Addr.to_int t.low_water then t.low_water <- new_sp
+
+let unpark t =
+  match t.park_restore with
+  | None -> ()
+  | Some sp ->
+      t.park_restore <- None;
+      t.sp <- sp
+
+let parked t = t.park_restore <> None
+
+(* The cheap stack-clearing algorithm of section 3.1: every
+   [stack_clear_period] allocations, clear a bounded chunk of the dead
+   region just below the stack pointer; clear more eagerly when the
+   stack is far above its deepest point. *)
+let periodic_stack_clear t =
+  if t.config.stack_clearing && t.alloc_count mod t.config.stack_clear_period = 0 then begin
+    let gap_words = Addr.diff t.sp t.low_water / word in
+    let words = min (max t.config.stack_clear_words (gap_words / 4)) gap_words in
+    if words > 0 then clear_dead_stack t ~words ()
+  end
+
+let allocate ?pointer_free ?finalizer t bytes =
+  t.alloc_count <- t.alloc_count + 1;
+  periodic_stack_clear t;
+  context_switch_noise t;
+  let base = Cgc.Gc.allocate ?pointer_free ?finalizer t.gc bytes in
+  (* Out-of-line allocator scratch: the fresh pointer is spilled just
+     below the caller's stack.  GC-aware allocators clear it on exit. *)
+  let scratch = Addr.add t.sp (-word) in
+  if Addr.to_int scratch >= Addr.to_int (Segment.base t.stack) then begin
+    Segment.write_word t.stack scratch (Addr.to_int base);
+    if t.config.allocator_self_cleanup then Segment.write_word t.stack scratch 0
+  end;
+  t.registers.(0) <- Addr.to_int base;
+  base
+
+let pp ppf t =
+  Format.fprintf ppf "machine: sp=%a low=%a base=%a allocs=%d" Addr.pp t.sp Addr.pp t.low_water
+    Addr.pp t.stack_base t.alloc_count

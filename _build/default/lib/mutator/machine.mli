@@ -1,0 +1,127 @@
+(** The mutator machine: registers and a C-like stack.
+
+    Reproduces the root-pollution phenomena of the paper's sections 3
+    and 3.1:
+
+    - stack frames are {e not} cleared on entry, so "a pointer may be
+      written to a stack location, the stack may be popped to well below
+      that pointer's location, the stack may grow again, and the garbage
+      collector may be invoked with the pointer again appearing live";
+    - RISC-style calling conventions "encourage unnecessarily large
+      stack frames, parts of which are never written" ([frame_padding]);
+    - register windows and kernel calls leave non-deterministic residue
+      in registers ([register_residue], [syscall_noise]) — the source of
+      the paper's non-reproducible results;
+    - the out-of-line allocator itself spills the fresh pointer to the
+      stack, and may or may not "carefully clean up after itself"
+      ([allocator_self_cleanup]);
+    - the allocator can "occasionally try to clear areas in the stack
+      beyond the most recently activated frame" ([stack_clearing]). *)
+
+open Cgc_vm
+
+type config = {
+  n_registers : int;
+  register_residue : float;
+      (** probability per call that a stale pointer value leaks into a
+          callee-visible register (register-window effect) *)
+  syscall_noise : float;
+      (** probability per allocation that a register picks up a random
+          word ("register values left over from kernel calls and/or
+          context switches") *)
+  frame_padding : int;  (** extra never-written words per frame *)
+  clear_frames_on_entry : bool;  (** defensive, GC-aware code style *)
+  clear_frames_on_exit : bool;
+  allocator_self_cleanup : bool;
+      (** the allocator clears its own stack scratch before returning
+          (paper section 3.1, first technique) *)
+  stack_clearing : bool;  (** paper section 3.1, second technique *)
+  stack_clear_period : int;  (** allocations between clearing attempts *)
+  stack_clear_words : int;  (** words cleared below the stack pointer per attempt *)
+}
+
+val default_config : config
+(** 32 registers, no noise, 2 padding words, no frame clearing,
+    allocator cleans up, stack clearing off, period 64, 256 words. *)
+
+val careless_config : config
+(** Code "written in C for explicit deallocation": generous padding, no
+    cleanup of any kind — the worst case of section 3.1. *)
+
+val hygienic_config : config
+(** Defensive, GC-aware style: allocator cleanup and stack clearing on. *)
+
+type t
+
+type frame
+
+val create : ?config:config -> ?seed:int -> Mem.t -> stack:Segment.t -> gc:Cgc.Gc.t -> t
+(** Attach to an existing stack segment and collector.  Registers the
+    machine's registers and live stack extent as GC roots. *)
+
+val gc : t -> Cgc.Gc.t
+val config : t -> config
+val stack_pointer : t -> Addr.t
+val stack_base : t -> Addr.t
+(** High end of the stack (the stack grows down from here). *)
+
+val low_water : t -> Addr.t
+(** Deepest stack pointer observed so far. *)
+
+val live_stack_words : t -> int
+
+(** {1 Registers} *)
+
+val n_registers : t -> int
+val get_register : t -> int -> int
+val set_register : t -> int -> int -> unit
+val clear_registers : t -> unit
+
+(** {1 Frames} *)
+
+val call : t -> slots:int -> (frame -> 'a) -> 'a
+(** Push a frame of [slots] locals (plus configured padding), run the
+    body, pop.  Frame memory is recycled stack memory: unless the
+    configuration clears frames, locals start out holding whatever the
+    previous occupant left there. *)
+
+val local_addr : frame -> int -> Addr.t
+(** Address of local slot [i] — itself a root while the frame is live. *)
+
+val get_local : frame -> int -> int
+val set_local : frame -> int -> int -> unit
+
+val park : t -> words:int -> unit
+(** Model a thread blocking deep in a wait call: the stack pointer moves
+    down by [words] and stays there (the region is {e not} initialized,
+    so whatever the thread did earlier remains visible to the
+    conservative scan).  Appendix B's idle Cedar threads sit exactly in
+    this state.  @raise Failure on stack overflow or if already parked. *)
+
+val unpark : t -> unit
+(** Return from the blocking call; the parked region becomes dead stack.
+    No-op if not parked. *)
+
+val parked : t -> bool
+
+(** {1 Allocation} *)
+
+val allocate : ?pointer_free:bool -> ?finalizer:string -> t -> int -> Addr.t
+(** Allocate through the collector, modelling the out-of-line allocation
+    call: the result is spilled to allocator scratch space below the
+    stack pointer (cleared afterwards only with
+    [allocator_self_cleanup]), register 0 receives the result, noise
+    hooks fire, and the configured stack clearing runs. *)
+
+val allocation_count : t -> int
+
+val clear_dead_stack : t -> ?words:int -> unit -> unit
+(** Explicitly clear up to [words] (default: all) of the dead region
+    below the stack pointer. *)
+
+val context_switch_noise : t -> unit
+(** Simulate a kernel call / context switch: sprinkle random words into
+    a few registers (uses the machine's RNG; honours [syscall_noise]
+    rate times 8 registers). *)
+
+val pp : Format.formatter -> t -> unit

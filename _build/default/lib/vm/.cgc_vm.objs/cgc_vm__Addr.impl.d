@@ -1,0 +1,1 @@
+lib/vm/addr.ml: Format Int

@@ -1,0 +1,1 @@
+lib/vm/bitset.ml: Array Format Printf

@@ -1,0 +1,1 @@
+lib/vm/bitset.mli: Format

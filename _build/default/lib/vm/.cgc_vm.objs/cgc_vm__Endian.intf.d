@@ -1,0 +1,1 @@
+lib/vm/endian.mli: Format

@@ -1,0 +1,1 @@
+lib/vm/layout.ml: Addr Format List Mem Printf Segment

@@ -1,0 +1,1 @@
+lib/vm/layout.mli: Addr Format Mem Segment

@@ -1,0 +1,1 @@
+lib/vm/mem.ml: Addr Array Endian Format List Option Printf Segment

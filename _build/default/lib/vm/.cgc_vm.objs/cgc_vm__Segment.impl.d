@@ -1,0 +1,1 @@
+lib/vm/segment.ml: Addr Bytes Char Endian Format Int32 Printf String

@@ -1,0 +1,1 @@
+lib/vm/segment.mli: Addr Endian Format

@@ -1,0 +1,31 @@
+type t = int
+
+let space_bits = 32
+let space_size = 1 lsl space_bits
+let mask = space_size - 1
+let zero = 0
+let of_int n = n land mask
+let to_int a = a
+let add a n = (a + n) land mask
+let diff a b = a - b
+let is_aligned a n = a land (n - 1) = 0
+let align_down a n = a land lnot (n - 1) land mask
+let align_up a n = (a + n - 1) land lnot (n - 1) land mask
+
+let trailing_zeros a =
+  if a = 0 then space_bits
+  else begin
+    let n = ref 0 in
+    let a = ref a in
+    while !a land 1 = 0 do
+      incr n;
+      a := !a lsr 1
+    done;
+    !n
+  end
+
+let in_range a ~lo ~hi = a >= lo && a < hi
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf a = Format.fprintf ppf "0x%08x" a
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,80 @@
+type t = {
+  n : int;
+  words : int array; (* 62 usable bits per word to stay in the immediate range *)
+}
+
+let bits_per_word = 62
+let nwords n = (n + bits_per_word - 1) / bits_per_word
+let create n = { n; words = Array.make (max 1 (nwords n)) 0 }
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.n)
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let set t i b = if b then add t i else remove t i
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let union_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Bitset.union_into: universe mismatch";
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then begin
+          let i = (w * bits_per_word) + b in
+          if i < t.n then f i
+        end
+      done
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+let exists_in_range t ~lo ~hi =
+  let lo = max lo 0 and hi = min hi t.n in
+  let rec go i = if i >= hi then false else if mem t i then true else go (i + 1) in
+  go lo
+
+let next_clear t i =
+  let rec go i = if i >= t.n then None else if mem t i then go (i + 1) else Some i in
+  go (max i 0)
+
+let equal a b = a.n = b.n && Array.for_all2 ( = ) a.words b.words
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  iter
+    (fun i ->
+      if not !first then Format.fprintf ppf ",";
+      first := false;
+      Format.fprintf ppf "%d" i)
+    t;
+  Format.fprintf ppf "}"

@@ -1,0 +1,50 @@
+(** Fixed-size bit sets.
+
+    Used for mark bits, object-allocation maps and the page blacklist —
+    the paper recommends implementing the blacklist "as a bit array,
+    indexed by page numbers". *)
+
+type t
+
+val create : int -> t
+(** [create n] is a set over the universe [\[0, n)], initially empty. *)
+
+val length : t -> int
+(** Size of the universe. *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val set : t -> int -> bool -> unit
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val count : t -> int
+(** Number of elements currently in the set. *)
+
+val is_empty : t -> bool
+
+val copy : t -> t
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every element of [src] to [dst].
+    Universes must have equal size. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over members in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val exists_in_range : t -> lo:int -> hi:int -> bool
+(** [exists_in_range t ~lo ~hi] is true when some member [i] satisfies
+    [lo <= i < hi]. *)
+
+val next_clear : t -> int -> int option
+(** [next_clear t i] is the smallest [j >= i] not in the set, if any. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

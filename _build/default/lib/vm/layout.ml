@@ -1,0 +1,111 @@
+type t = {
+  text_base : Addr.t;
+  text_size : int;
+  data_base : Addr.t;
+  data_size : int;
+  stack_top : Addr.t;
+  stack_size : int;
+  heap_base : Addr.t;
+  heap_max : int;
+}
+
+let regions t =
+  [
+    ("text", Addr.to_int t.text_base, t.text_size);
+    ("data", Addr.to_int t.data_base, t.data_size);
+    ("stack", Addr.to_int t.stack_top - t.stack_size, t.stack_size);
+    ("heap", Addr.to_int t.heap_base, t.heap_max);
+  ]
+
+let validate t =
+  let rs = regions t in
+  List.iter
+    (fun (name, base, size) ->
+      if size <= 0 then invalid_arg (Printf.sprintf "Layout: %s has non-positive size" name);
+      if base < 0 || base + size > Addr.space_size then
+        invalid_arg (Printf.sprintf "Layout: %s leaves the address space" name))
+    rs;
+  let rec pairs = function
+    | [] -> ()
+    | (name, base, size) :: rest ->
+        List.iter
+          (fun (name', base', size') ->
+            if base < base' + size' && base' < base + size then
+              invalid_arg (Printf.sprintf "Layout: %s overlaps %s" name name'))
+          rest;
+        pairs rest
+  in
+  pairs rs
+
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+let sbrk_style ?(data_size = kb 256) ?(heap_max = mb 64) () =
+  let text_base = Addr.of_int 0x2000 in
+  let text_size = kb 128 in
+  let data_base = Addr.of_int (0x2000 + text_size) in
+  let heap_base = Addr.align_up (Addr.add data_base data_size) 0x1000 in
+  let t =
+    {
+      text_base;
+      text_size;
+      data_base;
+      data_size;
+      stack_top = Addr.of_int 0xF0000000;
+      stack_size = mb 1;
+      heap_base;
+      heap_max;
+    }
+  in
+  validate t;
+  t
+
+let high_heap ?(data_size = kb 256) ?(heap_max = mb 64) () =
+  let t =
+    {
+      text_base = Addr.of_int 0x10000;
+      text_size = kb 128;
+      data_base = Addr.of_int 0x40000;
+      data_size;
+      stack_top = Addr.of_int 0xF0000000;
+      stack_size = mb 1;
+      heap_base = Addr.of_int 0x40000000;
+      heap_max;
+    }
+  in
+  validate t;
+  t
+
+let mid_heap ?(data_size = kb 256) ?(heap_max = mb 64) () =
+  let t =
+    {
+      text_base = Addr.of_int 0x10000;
+      text_size = kb 128;
+      data_base = Addr.of_int 0x40000;
+      data_size;
+      stack_top = Addr.of_int 0xF0000000;
+      stack_size = mb 1;
+      heap_base = Addr.of_int 0x00400000;
+      heap_max;
+    }
+  in
+  validate t;
+  t
+
+let apply t mem =
+  validate t;
+  let text = Mem.map mem ~name:"text" ~kind:Segment.Text ~base:t.text_base ~size:t.text_size in
+  let data =
+    Mem.map mem ~name:"data" ~kind:Segment.Static_data ~base:t.data_base ~size:t.data_size
+  in
+  let stack =
+    Mem.map mem ~name:"stack" ~kind:Segment.Stack
+      ~base:(Addr.add t.stack_top (-t.stack_size))
+      ~size:t.stack_size
+  in
+  (text, data, stack)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>text %a+%d data %a+%d stack %a-%d heap %a+%d@]" Addr.pp t.text_base
+    t.text_size Addr.pp t.data_base t.data_size Addr.pp t.stack_top t.stack_size Addr.pp
+    t.heap_base t.heap_max

@@ -1,0 +1,45 @@
+(** Address-space layouts.
+
+    Where the heap sits relative to other data decides how likely a
+    random bit pattern is to be mistaken for a heap pointer (paper
+    section 2: "an adequate solution sometimes consists of properly
+    positioning the heap in the address space").  A layout fixes the
+    bases of the classic process regions; platform presets in
+    [cgc_workloads] pick layouts that match the machines of the paper's
+    appendix B. *)
+
+type t = {
+  text_base : Addr.t;
+  text_size : int;
+  data_base : Addr.t;  (** static data + bss, scanned for roots *)
+  data_size : int;
+  stack_top : Addr.t;  (** highest stack address; the stack grows down *)
+  stack_size : int;
+  heap_base : Addr.t;  (** base of the region reserved for the GC heap *)
+  heap_max : int;  (** bytes reserved for the heap *)
+}
+
+val validate : t -> unit
+(** @raise Invalid_argument if any regions overlap or leave the space. *)
+
+val sbrk_style : ?data_size:int -> ?heap_max:int -> unit -> t
+(** A SunOS/SPARC-like layout: text near 0x2000, data right above it,
+    and the heap immediately after the data segment at {e low}
+    addresses — the worst case of the paper, where small integers and
+    base-conversion constants collide with heap addresses.
+    Default [data_size] 256 KB, [heap_max] 64 MB. *)
+
+val high_heap : ?data_size:int -> ?heap_max:int -> unit -> t
+(** A defensive layout placing the heap at 0x40000000, where "the high
+    order bits of addresses are neither all zeros nor all ones" and
+    collisions with integer data are unlikely. *)
+
+val mid_heap : ?data_size:int -> ?heap_max:int -> unit -> t
+(** OS/2-like flat layout with the heap at 0x00400000. *)
+
+val apply : t -> Mem.t -> Segment.t * Segment.t * Segment.t
+(** [apply t mem] maps the text, data and stack segments (the heap
+    segment is mapped later by the collector) and returns
+    [(text, data, stack)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type t = {
+  endian : Endian.t;
+  mutable segs : Segment.t array; (* sorted by base, non-overlapping *)
+}
+
+let create ?(endian = Endian.Little) () = { endian; segs = [||] }
+let endian t = t.endian
+let segments t = Array.to_list t.segs
+
+let overlaps a b =
+  Addr.to_int (Segment.base a) < Addr.to_int (Segment.limit b)
+  && Addr.to_int (Segment.base b) < Addr.to_int (Segment.limit a)
+
+let insert t seg =
+  Array.iter
+    (fun existing ->
+      if overlaps seg existing then
+        invalid_arg
+          (Format.asprintf "Mem.map: %a overlaps %a" Segment.pp seg Segment.pp existing))
+    t.segs;
+  let segs = Array.append t.segs [| seg |] in
+  Array.sort (fun a b -> Addr.compare (Segment.base a) (Segment.base b)) segs;
+  t.segs <- segs
+
+let map t ~name ~kind ~base ~size =
+  let seg = Segment.create ~name ~kind ~endian:t.endian ~base ~size in
+  insert t seg;
+  seg
+
+let page = 0x1000
+
+let map_anywhere t ~name ~kind ?(above = Addr.of_int page) ~size () =
+  let size_rounded = (size + page - 1) / page * page in
+  let candidate = ref (Addr.to_int (Addr.align_up above page)) in
+  Array.iter
+    (fun seg ->
+      let lo = Addr.to_int (Segment.base seg) and hi = Addr.to_int (Segment.limit seg) in
+      if !candidate + size_rounded > lo && !candidate < hi then
+        candidate := Addr.to_int (Addr.align_up (Addr.of_int hi) page))
+    t.segs;
+  if !candidate + size_rounded > Addr.space_size then failwith "Mem.map_anywhere: address space exhausted";
+  map t ~name ~kind ~base:(Addr.of_int !candidate) ~size
+
+let unmap t seg =
+  t.segs <- Array.of_list (List.filter (fun s -> s != seg) (Array.to_list t.segs))
+
+let find t a =
+  (* Binary search for the last segment with base <= a. *)
+  let segs = t.segs in
+  let n = Array.length segs in
+  let rec go lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let seg = segs.(mid) in
+      if Addr.to_int a < Addr.to_int (Segment.base seg) then go lo mid
+      else if Segment.contains seg a then Some seg
+      else go (mid + 1) hi
+    end
+  in
+  go 0 n
+
+let is_mapped t a = Option.is_some (find t a)
+
+let get t a =
+  match find t a with
+  | Some seg -> seg
+  | None -> invalid_arg (Printf.sprintf "Mem: unmapped address %s" (Addr.to_string a))
+
+let read_word t a = Segment.read_word (get t a) a
+let write_word t a v = Segment.write_word (get t a) a v
+let read_u8 t a = Segment.read_u8 (get t a) a
+let write_u8 t a v = Segment.write_u8 (get t a) a v
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>address space (%s-endian):@," (Endian.to_string t.endian);
+  Array.iter (fun s -> Format.fprintf ppf "  %a@," Segment.pp s) t.segs;
+  Format.fprintf ppf "@]"

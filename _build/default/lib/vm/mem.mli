@@ -1,0 +1,45 @@
+(** The simulated process address space.
+
+    A [Mem.t] is an ordered collection of non-overlapping {!Segment.t}s
+    inside one 32-bit space, with a byte order shared by all segments.
+    It plays the role of the operating system's VM map: components
+    obtain memory with {!map} (at a fixed address, like the collector
+    "requesting memory from the operating system at a garbage-collector
+    specified location") or {!map_anywhere}. *)
+
+type t
+
+val create : ?endian:Endian.t -> unit -> t
+(** A fresh, empty address space (default little-endian). *)
+
+val endian : t -> Endian.t
+
+val map : t -> name:string -> kind:Segment.kind -> base:Addr.t -> size:int -> Segment.t
+(** Create and register a segment at a fixed base address.
+    @raise Invalid_argument if it would overlap an existing segment. *)
+
+val map_anywhere : t -> name:string -> kind:Segment.kind -> ?above:Addr.t -> size:int -> unit -> Segment.t
+(** Map at the lowest page-aligned (4 KB) gap at or above [above]
+    (default 0x1000, keeping page zero unmapped). *)
+
+val unmap : t -> Segment.t -> unit
+(** Remove a segment.  Accesses through it afterwards are errors. *)
+
+val segments : t -> Segment.t list
+(** All segments in increasing address order. *)
+
+val find : t -> Addr.t -> Segment.t option
+(** The segment containing the given address, if mapped. *)
+
+val is_mapped : t -> Addr.t -> bool
+
+val read_word : t -> Addr.t -> int
+(** Read a 32-bit word at any mapped (possibly unaligned) address.
+    @raise Invalid_argument if unmapped or crossing a segment end. *)
+
+val write_word : t -> Addr.t -> int -> unit
+
+val read_u8 : t -> Addr.t -> int
+val write_u8 : t -> Addr.t -> int -> unit
+
+val pp : Format.formatter -> t -> unit

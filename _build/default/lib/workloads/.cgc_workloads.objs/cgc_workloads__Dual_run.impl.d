@@ -1,0 +1,1 @@
+lib/workloads/dual_run.ml: Addr Array Cgc Cgc_vm Format Mem Platform Rng Segment

@@ -1,0 +1,1 @@
+lib/workloads/dual_run.mli: Format

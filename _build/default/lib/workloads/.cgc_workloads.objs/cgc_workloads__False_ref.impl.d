@@ -1,0 +1,1 @@
+lib/workloads/false_ref.ml: Addr Cgc Cgc_mutator Cgc_vm Endian Format Harness List Mem Platform Rng Segment

@@ -1,0 +1,1 @@
+lib/workloads/false_ref.mli: Format

@@ -1,0 +1,1 @@
+lib/workloads/fragmentation.ml: Addr Array Cgc Cgc_vm Format Mem Rng Segment

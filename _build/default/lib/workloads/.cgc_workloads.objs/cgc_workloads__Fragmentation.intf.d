@@ -1,0 +1,1 @@
+lib/workloads/fragmentation.mli: Format

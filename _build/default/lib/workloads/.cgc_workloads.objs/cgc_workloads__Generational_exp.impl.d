@@ -1,0 +1,1 @@
+lib/workloads/generational_exp.ml: Addr Cgc Cgc_mutator Cgc_vm Format Fun Harness List

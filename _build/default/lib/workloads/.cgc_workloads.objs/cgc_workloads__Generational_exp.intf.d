@@ -1,0 +1,1 @@
+lib/workloads/generational_exp.mli: Format

@@ -1,0 +1,1 @@
+lib/workloads/grid.ml: Addr Array Cgc Cgc_mutator Cgc_vm Format Harness List Rng

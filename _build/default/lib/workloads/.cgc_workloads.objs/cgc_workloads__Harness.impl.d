@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Addr Cgc Cgc_mutator Cgc_vm Endian List Mem Segment

@@ -1,0 +1,1 @@
+lib/workloads/harness.mli: Addr Cgc Cgc_mutator Cgc_vm Endian Mem Segment

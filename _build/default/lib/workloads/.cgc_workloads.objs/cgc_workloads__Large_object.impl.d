@@ -1,0 +1,1 @@
+lib/workloads/large_object.ml: Cgc Cgc_vm Format List Platform

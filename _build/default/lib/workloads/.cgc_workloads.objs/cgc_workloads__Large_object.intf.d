@@ -1,0 +1,1 @@
+lib/workloads/large_object.mli: Format Platform

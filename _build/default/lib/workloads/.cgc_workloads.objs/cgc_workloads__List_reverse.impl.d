@@ -1,0 +1,1 @@
+lib/workloads/list_reverse.ml: Addr Cgc Cgc_mutator Cgc_vm Format Fun Harness List

@@ -1,0 +1,1 @@
+lib/workloads/list_reverse.mli: Format

@@ -1,0 +1,1 @@
+lib/workloads/model.ml: Addr Array Cgc Cgc_vm Format Platform Segment

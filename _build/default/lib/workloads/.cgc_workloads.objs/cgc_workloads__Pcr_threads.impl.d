@@ -1,0 +1,1 @@
+lib/workloads/pcr_threads.ml: Addr Array Cgc Cgc_mutator Cgc_vm Format List Mem Platform Printf Segment

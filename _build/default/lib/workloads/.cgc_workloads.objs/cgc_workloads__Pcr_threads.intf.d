@@ -1,0 +1,1 @@
+lib/workloads/pcr_threads.mli: Format

@@ -1,0 +1,1 @@
+lib/workloads/platform.ml: Addr Cgc Cgc_mutator Cgc_vm Char Endian Format Fun Layout List Mem Option Rng Segment String

@@ -1,0 +1,1 @@
+lib/workloads/platform.mli: Addr Cgc Cgc_mutator Cgc_vm Endian Format Layout Mem Segment

@@ -1,0 +1,1 @@
+lib/workloads/program_t.ml: Addr Cgc Cgc_mutator Cgc_vm Format List Platform Rng Segment String

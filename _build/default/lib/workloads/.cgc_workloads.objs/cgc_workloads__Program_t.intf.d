@@ -1,0 +1,1 @@
+lib/workloads/program_t.mli: Format Platform

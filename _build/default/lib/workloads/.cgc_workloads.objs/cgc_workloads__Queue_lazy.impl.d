@@ -1,0 +1,1 @@
+lib/workloads/queue_lazy.ml: Addr Cgc Cgc_mutator Cgc_vm Format Harness List

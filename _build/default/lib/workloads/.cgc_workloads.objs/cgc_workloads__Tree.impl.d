@@ -1,0 +1,1 @@
+lib/workloads/tree.ml: Addr Cgc Cgc_mutator Cgc_vm Format Harness List Rng

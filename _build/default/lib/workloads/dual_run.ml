@@ -1,0 +1,101 @@
+open Cgc_vm
+module Mark = Cgc.Mark
+module Config = Cgc.Config
+
+type result = {
+  shift_bytes : int;
+  root_words : int;
+  single_run_candidates : int;
+  dual_run_candidates : int;
+  false_refs_eliminated : int;
+  genuine_pointers : int;
+  genuine_lost : int;
+}
+
+type run_image = {
+  root_values : int array;
+  genuine_slots : bool array;  (** which root slots hold real pointers *)
+  gc : Cgc.Gc.t;
+}
+
+(* One deterministic execution with the heap based at [heap_base].
+   Blacklisting is off so both runs allocate identically. *)
+let execute ~seed ~heap_base ~pollution_words ~live_cells =
+  let mem = Mem.create () in
+  let data =
+    Mem.map mem ~name:"roots" ~kind:Segment.Static_data ~base:(Addr.of_int 0x8000) ~size:0x2000
+  in
+  let config = { Config.default with Config.blacklisting = false; initial_pages = 16 } in
+  let gc = Cgc.Gc.create ~config mem ~base:(Addr.of_int heap_base) ~max_bytes:(8 * 1024 * 1024) () in
+  Cgc.Gc.add_static_root gc ~lo:(Segment.base data) ~hi:(Segment.limit data) ~label:"roots";
+  let n_words = Segment.size data / 4 in
+  let genuine = Array.make n_words false in
+  let rng = Rng.create seed in
+  (* integer pollution: identical absolute values in both runs *)
+  for i = 0 to pollution_words - 1 do
+    Segment.write_word data (Addr.add (Segment.base data) (4 * i)) (Platform.conversion_value rng)
+  done;
+  (* live structure: chained cons cells; head and a few interior cells
+     stored as genuine pointers after the pollution area *)
+  let cells = Array.make live_cells 0 in
+  let prev = ref 0 in
+  for i = 0 to live_cells - 1 do
+    let c = Cgc.Gc.allocate gc 8 in
+    Cgc.Gc.set_field gc c 1 !prev;
+    prev := Addr.to_int c;
+    cells.(i) <- !prev;
+    (* keep it rooted during construction *)
+    Segment.write_word data (Addr.add (Segment.base data) (4 * pollution_words)) !prev
+  done;
+  let genuine_count = 8 in
+  for k = 0 to genuine_count - 1 do
+    let slot = pollution_words + k in
+    let cell = cells.(Rng.int rng live_cells) in
+    Segment.write_word data (Addr.add (Segment.base data) (4 * slot)) cell;
+    genuine.(slot) <- true
+  done;
+  let root_values =
+    Array.init n_words (fun i -> Segment.read_word data (Addr.add (Segment.base data) (4 * i)))
+  in
+  { root_values; genuine_slots = genuine; gc }
+
+let run ?(seed = 7) ?(shift_pages = 37) ?(pollution_words = 1024) ?(live_cells = 20_000) () =
+  let base1 = 0x100000 in
+  let shift_bytes = shift_pages * 4096 in
+  let r1 = execute ~seed ~heap_base:base1 ~pollution_words ~live_cells in
+  let r2 = execute ~seed ~heap_base:(base1 + shift_bytes) ~pollution_words ~live_cells in
+  let heap1 = Cgc.Gc.heap r1.gc in
+  let config1 = Cgc.Gc.config r1.gc in
+  let n = Array.length r1.root_values in
+  let single = ref 0 and dual = ref 0 and genuine_kept = ref 0 and genuine_total = ref 0 in
+  for i = 0 to n - 1 do
+    let v1 = r1.root_values.(i) and v2 = r2.root_values.(i) in
+    let conservative_ok =
+      match Mark.classify heap1 config1 v1 with
+      | Mark.Valid _ -> true
+      | Mark.False_in_heap _ | Mark.Outside -> false
+    in
+    if conservative_ok then begin
+      incr single;
+      if v2 - v1 = shift_bytes then incr dual
+    end;
+    if r1.genuine_slots.(i) then begin
+      incr genuine_total;
+      if conservative_ok && v2 - v1 = shift_bytes then incr genuine_kept
+    end
+  done;
+  {
+    shift_bytes;
+    root_words = n;
+    single_run_candidates = !single;
+    dual_run_candidates = !dual;
+    false_refs_eliminated = !single - !dual;
+    genuine_pointers = !genuine_total;
+    genuine_lost = !genuine_total - !genuine_kept;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "shift %d bytes over %d root words: %d conservative candidates -> %d dual-confirmed (%d false refs eliminated, %d/%d genuine kept)"
+    r.shift_bytes r.root_words r.single_run_candidates r.dual_run_candidates
+    r.false_refs_eliminated (r.genuine_pointers - r.genuine_lost) r.genuine_pointers

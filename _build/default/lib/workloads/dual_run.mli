@@ -1,0 +1,28 @@
+(** Footnote 4: the dual-run pointer-identification technique.
+
+    "More accurate techniques are possible at substantial performance
+    cost, even for unmodified C code.  For example, under suitable
+    conditions, we could run two copies of the same program with heap
+    starting addresses that differ by n.  Any two corresponding
+    locations whose values do not differ by n are then known not to be
+    pointers."
+
+    Our simulation can do exactly this: the same deterministic workload
+    runs twice with shifted heaps, the root segments are compared word
+    by word, and a value only counts as a pointer when the second run's
+    value is the first's plus the shift. *)
+
+type result = {
+  shift_bytes : int;
+  root_words : int;
+  single_run_candidates : int;
+      (** root words the conservative test accepts in run 1 *)
+  dual_run_candidates : int;  (** of those, values that shifted with the heap *)
+  false_refs_eliminated : int;
+  genuine_pointers : int;  (** lower bound: pointers the workload really planted *)
+  genuine_lost : int;  (** genuine pointers the dual test wrongly rejected (must be 0) *)
+}
+
+val run : ?seed:int -> ?shift_pages:int -> ?pollution_words:int -> ?live_cells:int -> unit -> result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,199 @@
+open Cgc_vm
+module Mark = Cgc.Mark
+module Config = Cgc.Config
+
+type sample_kind =
+  | Uniform_words
+  | Integer_like
+
+type sweep_point = {
+  live_kb : int;
+  samples : int;
+  kind : sample_kind;
+  p_valid_base_only : float;
+  p_valid_interior : float;
+  p_in_heap_region : float;
+}
+
+let sample_value rng = function
+  | Uniform_words -> Rng.word rng
+  | Integer_like -> Platform.conversion_value rng
+
+(* Fill the heap with [live_kb] KB of live cons cells, chained from a
+   root slot. *)
+let fill_live h ~live_kb =
+  let cells = live_kb * 1024 / 8 in
+  let prev = ref 0 in
+  for _ = 1 to cells do
+    let c = Cgc_mutator.Builder.cons h.Harness.machine ~car:0 ~cdr:!prev in
+    prev := Addr.to_int c;
+    Harness.set_root h 0 !prev
+  done
+
+let misidentification_sweep ?(seed = 7) ?(samples = 200_000) ~kind live_kbs =
+  List.map
+    (fun live_kb ->
+      let heap_kb = max 256 (4 * live_kb) in
+      let h = Harness.create ~seed ~heap_kb () in
+      fill_live h ~live_kb;
+      let heap = Cgc.Gc.heap h.Harness.gc in
+      let base_config = Cgc.Gc.config h.Harness.gc in
+      let interior = { base_config with Config.interior_pointers = true } in
+      let base_only = { base_config with Config.interior_pointers = false } in
+      let rng = Rng.create (seed * 31) in
+      let n_interior = ref 0 and n_base = ref 0 and n_region = ref 0 in
+      for _ = 1 to samples do
+        let v = sample_value rng kind in
+        (match Mark.classify heap interior v with
+        | Mark.Valid _ ->
+            incr n_interior;
+            incr n_region
+        | Mark.False_in_heap _ -> incr n_region
+        | Mark.Outside -> ());
+        match Mark.classify heap base_only v with
+        | Mark.Valid _ -> incr n_base
+        | Mark.False_in_heap _ | Mark.Outside -> ()
+      done;
+      let p n = float_of_int n /. float_of_int samples in
+      {
+        live_kb;
+        samples;
+        kind;
+        p_valid_base_only = p !n_base;
+        p_valid_interior = p !n_interior;
+        p_in_heap_region = p !n_region;
+      })
+    live_kbs
+
+(* --- figure 1 --- *)
+
+type halfword_result = {
+  pairs : int;
+  false_refs_aligned : int;
+  false_refs_unaligned : int;
+  example_value : int;
+  retained_avoidance_off : int;
+  retained_avoidance_on : int;
+}
+
+(* Adjacent small integers 16+i, planted big-endian, concatenate at a
+   2-byte offset into 0x(0010+i)0000 — a 64 KB boundary inside the
+   heap. *)
+let halfword_env ~alignment ~avoid ~pairs =
+  let config =
+    {
+      Config.default with
+      Config.alignment;
+      initial_pages = 16 * pairs (* commit the whole band up front *);
+      avoid_trailing_zeros = (if avoid then Some 16 else None);
+      blacklisting = true;
+    }
+  in
+  let mem = Mem.create ~endian:Endian.Big () in
+  let data =
+    Mem.map mem ~name:"pairs" ~kind:Segment.Static_data ~base:(Addr.of_int 0x8000) ~size:0x1000
+  in
+  let gc =
+    Cgc.Gc.create ~config mem ~base:(Addr.of_int 0x100000)
+      ~max_bytes:((pairs + 1) * 64 * 1024)
+      ()
+  in
+  Cgc.Gc.add_static_root gc ~lo:(Segment.base data) ~hi:(Segment.limit data) ~label:"pairs";
+  (mem, data, gc)
+
+let halfword_study ?(seed = 7) pairs =
+  ignore seed (* the study is fully deterministic *);
+  if pairs < 1 || pairs > 60 then invalid_arg "False_ref.halfword_study: pairs in [1,60]";
+  let boundary i = 0x100000 + (i * 0x10000) in
+  let run ~alignment ~avoid =
+    let _mem, data, gc = halfword_env ~alignment ~avoid ~pairs in
+    Cgc.Gc.set_auto_collect gc false;
+    (* fill the band with atomic 8-byte objects (unchained, so retention
+       is countable per object) *)
+    let n_cells = pairs * 64 * 1024 / 8 in
+    for _ = 1 to n_cells do
+      ignore (Cgc.Gc.allocate ~pointer_free:true gc 8)
+    done;
+    (* plant the small-integer pairs *)
+    for i = 0 to pairs - 1 do
+      Segment.write_word data (Addr.add (Segment.base data) (8 * i)) (16 + i);
+      Segment.write_word data (Addr.add (Segment.base data) ((8 * i) + 4)) (17 + i)
+    done;
+    (* everything is garbage; only the concatenated halfwords can retain *)
+    let stats = Cgc.Gc.stats gc in
+    let false_before = stats.Cgc.Stats.false_refs in
+    Cgc.Gc.collect gc;
+    let retained = ref 0 in
+    for i = 0 to pairs - 1 do
+      if Cgc.Gc.find_object gc (Addr.of_int (boundary i)) <> None then incr retained
+    done;
+    (stats.Cgc.Stats.false_refs - false_before, !retained)
+  in
+  let false_aligned, _ = run ~alignment:4 ~avoid:false in
+  let false_unaligned, retained_off = run ~alignment:2 ~avoid:false in
+  let _, retained_on = run ~alignment:2 ~avoid:true in
+  {
+    pairs;
+    false_refs_aligned = false_aligned;
+    false_refs_unaligned = false_unaligned;
+    example_value = boundary 0;
+    retained_avoidance_off = retained_off;
+    retained_avoidance_on = retained_on;
+  }
+
+(* --- placement --- *)
+
+type placement_result = {
+  heap_base : int;
+  p_false : float;
+}
+
+let placement_study ?(seed = 7) ?(samples = 200_000) live_kb =
+  List.map
+    (fun heap_base ->
+      let mem = Mem.create () in
+      let data =
+        Mem.map mem ~name:"roots" ~kind:Segment.Static_data ~base:(Addr.of_int 0x8000) ~size:0x1000
+      in
+      let config = { Config.default with Config.initial_pages = 16 } in
+      let gc =
+        Cgc.Gc.create ~config mem ~base:(Addr.of_int heap_base)
+          ~max_bytes:(max (256 * 1024) (4 * live_kb * 1024))
+          ()
+      in
+      Cgc.Gc.add_static_root gc ~lo:(Segment.base data) ~hi:(Segment.limit data) ~label:"roots";
+      (* live data chained from a root *)
+      let prev = ref 0 in
+      for _ = 1 to live_kb * 1024 / 8 do
+        let c = Cgc.Gc.allocate gc 8 in
+        Cgc.Gc.set_field gc c 1 !prev;
+        prev := Addr.to_int c;
+        Segment.write_word data (Segment.base data) !prev
+      done;
+      let rng = Rng.create (seed * 17) in
+      let heap = Cgc.Gc.heap gc in
+      let hits = ref 0 in
+      for _ = 1 to samples do
+        match Mark.classify heap (Cgc.Gc.config gc) (Platform.conversion_value rng) with
+        | Mark.Valid _ -> incr hits
+        | Mark.False_in_heap _ | Mark.Outside -> ()
+      done;
+      { heap_base; p_false = float_of_int !hits /. float_of_int samples })
+    [ 0x60000; 0x40000000 ]
+
+let kind_name = function
+  | Uniform_words -> "uniform"
+  | Integer_like -> "integer-like"
+
+let pp_sweep_point ppf p =
+  Format.fprintf ppf
+    "%4d KB live (%s): P(valid|base-only)=%.5f  P(valid|interior)=%.5f  P(in-region)=%.5f"
+    p.live_kb (kind_name p.kind) p.p_valid_base_only p.p_valid_interior p.p_in_heap_region
+
+let pp_halfword ppf r =
+  Format.fprintf ppf
+    "%d pairs: false refs align4=%d align2=%d (e.g. 0x%08x); retained: %d without avoidance, %d with"
+    r.pairs r.false_refs_aligned r.false_refs_unaligned r.example_value r.retained_avoidance_off
+    r.retained_avoidance_on
+
+let pp_placement ppf r = Format.fprintf ppf "heap at 0x%08x: P(misidentified)=%.5f" r.heap_base r.p_false

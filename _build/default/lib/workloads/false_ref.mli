@@ -1,0 +1,64 @@
+(** Section 2: pointer misidentification studies, including figure 1.
+
+    Three questions the section raises, each as a measurable experiment:
+
+    - how does the probability that a random (or integer-like) bit
+      pattern is mistaken for a pointer grow with heap occupancy, and
+      how much worse do interior pointers and unaligned scanning make
+      it ({!misidentification_sweep});
+    - how do adjacent small integers concatenate into valid heap
+      addresses when all alignments must be considered — figure 1's
+      [0009 000a -> 0x00090000] — and how much does refusing to place
+      objects at addresses with many trailing zeros help
+      ({!halfword_study});
+    - how much does positioning the heap high in the address space help
+      against integer-like data ({!placement_study}). *)
+
+type sample_kind =
+  | Uniform_words  (** uniform over the 32-bit space *)
+  | Integer_like  (** the conversion-table distribution: small-ish integers *)
+
+type sweep_point = {
+  live_kb : int;
+  samples : int;
+  kind : sample_kind;
+  p_valid_base_only : float;  (** interior pointers off *)
+  p_valid_interior : float;  (** interior pointers on *)
+  p_in_heap_region : float;  (** candidate blacklist fodder *)
+}
+
+val misidentification_sweep :
+  ?seed:int -> ?samples:int -> kind:sample_kind -> int list -> sweep_point list
+(** [misidentification_sweep ~kind live_kbs]: for each target occupancy,
+    fill a heap with that many KB of live cons cells and measure the
+    probability that a sampled word classifies as a valid object
+    reference. *)
+
+type halfword_result = {
+  pairs : int;  (** adjacent small-integer pairs planted *)
+  false_refs_aligned : int;  (** scanning at alignment 4 *)
+  false_refs_unaligned : int;  (** scanning at alignment 2 *)
+  example_value : int;  (** a concatenated address actually seen, 0 if none *)
+  retained_avoidance_off : int;  (** objects retained by concatenated refs *)
+  retained_avoidance_on : int;
+      (** same with [avoid_trailing_zeros]: the hazardous page-aligned
+          slot is never an object base *)
+}
+
+val halfword_study : ?seed:int -> int -> halfword_result
+(** [halfword_study pairs] *)
+
+type placement_result = {
+  heap_base : int;
+  p_false : float;  (** integer-like values misidentified *)
+}
+
+val placement_study : ?seed:int -> ?samples:int -> int -> placement_result list
+(** [placement_study live_kb]: the same integer-like data against a low
+    (sbrk-style) and a high (0x40000000) heap: "if the high order bits
+    of addresses are neither all zeros nor all ones, then conflicts with
+    integer data are unlikely". *)
+
+val pp_sweep_point : Format.formatter -> sweep_point -> unit
+val pp_halfword : Format.formatter -> halfword_result -> unit
+val pp_placement : Format.formatter -> placement_result -> unit

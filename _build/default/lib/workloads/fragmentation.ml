@@ -1,0 +1,102 @@
+open Cgc_vm
+module Config = Cgc.Config
+module Explicit = Cgc.Explicit
+
+type allocator =
+  | Malloc_lifo
+  | Malloc_address_ordered
+  | Collector
+
+type result = {
+  allocator : allocator;
+  iterations : int;
+  population : int;
+  live_bytes : int;
+  committed_bytes : int;
+  fragmentation : float;
+  releasable_pages : int;
+}
+
+(* A drifting size mix: early iterations favour small objects, later
+   ones larger — the pattern that fragments size-classed heaps. *)
+let size_of rng iter =
+  let bases = [| 8; 16; 24; 32; 48; 64 |] in
+  let drift = iter / 4 mod 4 in
+  bases.(min (Array.length bases - 1) (Rng.int rng 3 + drift))
+
+let heap_base = Addr.of_int 0x400000
+let reserve = 32 * 1024 * 1024
+
+let run_malloc ~seed ~policy ~population ~iterations =
+  let mem = Mem.create () in
+  let e = Explicit.create ~policy mem ~base:heap_base ~max_bytes:reserve () in
+  let rng = Rng.create seed in
+  let objects = Array.make population Addr.zero in
+  for i = 0 to population - 1 do
+    objects.(i) <- Explicit.malloc e (size_of rng 0)
+  done;
+  for iter = 1 to iterations do
+    for i = 0 to population - 1 do
+      if Rng.bool rng then begin
+        Explicit.free e objects.(i);
+        objects.(i) <- Explicit.malloc e (size_of rng iter)
+      end
+    done
+  done;
+  let releasable = Explicit.release_empty_pages e in
+  (Explicit.live_bytes e, Explicit.committed_bytes e, releasable)
+
+let run_collector ~seed ~population ~iterations =
+  let mem = Mem.create () in
+  let table =
+    Mem.map mem ~name:"table" ~kind:Segment.Static_data ~base:(Addr.of_int 0x10000)
+      ~size:(((population * 4 / 0x1000) + 1) * 0x1000)
+  in
+  let config = { Config.default with Config.initial_pages = 16 } in
+  let gc = Cgc.Gc.create ~config mem ~base:heap_base ~max_bytes:reserve () in
+  Cgc.Gc.add_static_root gc ~lo:(Segment.base table) ~hi:(Segment.limit table) ~label:"table";
+  let rng = Rng.create seed in
+  let slot i = Addr.add (Segment.base table) (4 * i) in
+  for i = 0 to population - 1 do
+    Segment.write_word table (slot i) (Addr.to_int (Cgc.Gc.allocate gc (size_of rng 0)))
+  done;
+  for iter = 1 to iterations do
+    for i = 0 to population - 1 do
+      if Rng.bool rng then begin
+        Segment.write_word table (slot i) 0;
+        Segment.write_word table (slot i) (Addr.to_int (Cgc.Gc.allocate gc (size_of rng iter)))
+      end
+    done
+  done;
+  Cgc.Gc.collect gc;
+  let heap = Cgc.Gc.heap gc in
+  let used_pages = Cgc.Heap.committed_pages heap - Cgc.Heap.free_page_count heap in
+  (Cgc.Gc.live_bytes gc, used_pages * Cgc.Heap.page_size heap, Cgc.Heap.free_page_count heap)
+
+let run ?(seed = 7) allocator ~population ~iterations =
+  let live, committed, releasable =
+    match allocator with
+    | Malloc_lifo -> run_malloc ~seed ~policy:Cgc.Free_list.Lifo ~population ~iterations
+    | Malloc_address_ordered ->
+        run_malloc ~seed ~policy:Cgc.Free_list.Address_ordered ~population ~iterations
+    | Collector -> run_collector ~seed ~population ~iterations
+  in
+  {
+    allocator;
+    iterations;
+    population;
+    live_bytes = live;
+    committed_bytes = committed;
+    fragmentation = float_of_int committed /. float_of_int (max live 1);
+    releasable_pages = releasable;
+  }
+
+let allocator_name = function
+  | Malloc_lifo -> "malloc/LIFO"
+  | Malloc_address_ordered -> "malloc/addr-ordered"
+  | Collector -> "collector"
+
+let pp ppf r =
+  Format.fprintf ppf "%-19s pop=%d iters=%d: live %dKB in %dKB (%.2fx), %d pages releasable"
+    (allocator_name r.allocator) r.population r.iterations (r.live_bytes / 1024)
+    (r.committed_bytes / 1024) r.fragmentation r.releasable_pages

@@ -1,0 +1,73 @@
+open Cgc_vm
+module Machine = Cgc_mutator.Machine
+module Builder = Cgc_mutator.Builder
+module Generational = Cgc.Generational
+
+type hygiene =
+  | Clean
+  | Careless
+
+type result = {
+  hygiene : hygiene;
+  rounds : int;
+  batch : int;
+  live_set_bytes : int;
+  promoted_bytes : int;
+  promoted_pages : int;
+  minor_collections : int;
+  garbage_promoted_bytes : int;
+}
+
+let machine_config_of = function
+  | Clean ->
+      {
+        Machine.default_config with
+        Machine.clear_frames_on_entry = true;
+        clear_frames_on_exit = true;
+        allocator_self_cleanup = true;
+        frame_padding = 2;
+      }
+  | Careless -> Machine.careless_config
+
+let run ?(seed = 7) ?(batch = 400) hygiene ~rounds =
+  let h = Harness.create ~seed ~machine_config:(machine_config_of hygiene) ~heap_kb:8192 () in
+  let gc = h.Harness.gc in
+  Cgc.Gc.set_auto_collect gc false;
+  let gen = Generational.create ~promote_after:2 gc in
+  let m = h.Harness.machine in
+  (* a small long-lived working set that legitimately deserves promotion *)
+  let live_cells = 200 in
+  let live = Builder.list_of m (List.init live_cells Fun.id) in
+  Harness.set_root h 0 (Addr.to_int live);
+  for _ = 1 to rounds do
+    (* a batch of short-lived data built and dropped inside one frame *)
+    Machine.call m ~slots:4 (fun frame ->
+        let temp = Builder.list_of m (List.init batch Fun.id) in
+        Machine.set_local frame 0 (Addr.to_int temp));
+    (match hygiene with
+    | Clean -> Machine.clear_registers m
+    | Careless -> ());
+    Generational.minor gen
+  done;
+  let s = Generational.stats gen in
+  let live_set_bytes = live_cells * 8 in
+  {
+    hygiene;
+    rounds;
+    batch;
+    live_set_bytes;
+    promoted_bytes = s.Generational.promoted_bytes;
+    promoted_pages = s.Generational.promoted_pages;
+    minor_collections = s.Generational.minor_collections;
+    garbage_promoted_bytes = max 0 (s.Generational.promoted_bytes - live_set_bytes);
+  }
+
+let hygiene_name = function
+  | Clean -> "clean"
+  | Careless -> "careless"
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%-8s %d rounds x %d cells: %d bytes promoted over %d pages (live set %d B; garbage promoted %d B)"
+    (hygiene_name r.hygiene) r.rounds r.batch r.promoted_bytes r.promoted_pages r.live_set_bytes
+    r.garbage_promoted_bytes

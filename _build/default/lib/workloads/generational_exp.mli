@@ -1,0 +1,34 @@
+(** Generational collection vs stray stack pointers (section 3.1).
+
+    "In the Cedar environment, we also observed that stray stack
+    pointers can significantly lengthen the lifetime of some objects,
+    thus placing a ceiling on the effectiveness of generational
+    collection."
+
+    The workload allocates a batch of short-lived cons cells per round
+    inside a stack frame, drops them, and runs a minor collection.  With
+    a hygienic machine the batches die young and almost nothing is
+    promoted beyond the small live working set; with a careless machine,
+    stale frame and register words keep dead batches "reachable" across
+    enough minor collections that whole pages of garbage get promoted —
+    garbage the minor collector can then never reclaim. *)
+
+type hygiene =
+  | Clean  (** frames cleared, allocator tidy, registers scrubbed *)
+  | Careless  (** section 3.1's worst case *)
+
+type result = {
+  hygiene : hygiene;
+  rounds : int;
+  batch : int;  (** cons cells allocated and dropped per round *)
+  live_set_bytes : int;  (** the only data that deserves promotion *)
+  promoted_bytes : int;
+  promoted_pages : int;
+  minor_collections : int;
+  garbage_promoted_bytes : int;  (** promoted beyond the live set (>= 0) *)
+}
+
+val run : ?seed:int -> ?batch:int -> hygiene -> rounds:int -> result
+
+val hygiene_name : hygiene -> string
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,92 @@
+open Cgc_vm
+module Builder = Cgc_mutator.Builder
+
+type representation =
+  | Embedded
+  | Separate
+
+type result = {
+  representation : representation;
+  rows : int;
+  cols : int;
+  total_cells : int;
+  retained_cells : int;
+  retained_fraction : float;
+  injected_at : Addr.t;
+}
+
+let build h representation ~rows ~cols =
+  let m = h.Harness.machine in
+  match representation with
+  | Embedded -> Builder.grid_embedded m ~rows ~cols
+  | Separate -> Builder.grid_separate m ~rows ~cols
+
+let cells_of_grid (g : Builder.grid) =
+  Array.to_list g.Builder.vertices @ Array.to_list g.Builder.spine
+
+let run_one ?(seed = 7) representation ~rows ~cols ~target =
+  let h = Harness.create ~seed () in
+  let g = build h representation ~rows ~cols in
+  (* root it, verify it is all live, then drop it; builder leftovers in
+     the machine registers must not count as roots here *)
+  Cgc_mutator.Machine.clear_registers h.Harness.machine;
+  Harness.set_root h 0 (Addr.to_int g.Builder.headers);
+  Cgc.Gc.collect h.Harness.gc;
+  let cells = cells_of_grid g in
+  let total = List.length cells in
+  assert (Harness.count_allocated h cells = total);
+  Harness.set_root h 0 0;
+  let target = target mod total in
+  let victim = List.nth cells target in
+  Harness.set_root h 1 (Addr.to_int victim);
+  Cgc.Gc.collect h.Harness.gc;
+  let retained = Harness.count_allocated h cells in
+  {
+    representation;
+    rows;
+    cols;
+    total_cells = total;
+    retained_cells = retained;
+    retained_fraction = float_of_int retained /. float_of_int total;
+    injected_at = victim;
+  }
+
+type summary = {
+  s_representation : representation;
+  s_rows : int;
+  s_cols : int;
+  trials : int;
+  mean_fraction : float;
+  max_fraction : float;
+  min_fraction : float;
+}
+
+let run_trials ?(seed = 7) representation ~rows ~cols ~trials =
+  if trials < 1 then invalid_arg "Grid.run_trials: need at least one trial";
+  let rng = Rng.create seed in
+  let fractions =
+    List.init trials (fun i ->
+        let r =
+          run_one ~seed:(seed + i) representation ~rows ~cols
+            ~target:(Rng.int rng (rows * cols * 3))
+        in
+        r.retained_fraction)
+  in
+  {
+    s_representation = representation;
+    s_rows = rows;
+    s_cols = cols;
+    trials;
+    mean_fraction = List.fold_left ( +. ) 0. fractions /. float_of_int trials;
+    max_fraction = List.fold_left max 0. fractions;
+    min_fraction = List.fold_left min 1. fractions;
+  }
+
+let name = function
+  | Embedded -> "embedded"
+  | Separate -> "separate"
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%-9s %dx%d grid, %d trials: mean %.1f%% retained (min %.1f%%, max %.1f%%)"
+    (name s.s_representation) s.s_rows s.s_cols s.trials (100. *. s.mean_fraction)
+    (100. *. s.min_fraction) (100. *. s.max_fraction)

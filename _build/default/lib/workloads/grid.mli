@@ -1,0 +1,45 @@
+(** Figures 3 and 4: embedded links vs separate link cells.
+
+    "In the former case, a false reference can be expected to result in
+    the retention of a large fraction of the structure.  In the latter
+    case, at most a single row or column is affected."  For a uniformly
+    placed false reference, the embedded grid retains about a quarter of
+    all vertices in expectation (the lower-right quadrant of the hit
+    vertex), while the separate-cons-cell grid retains at most one
+    row-or-column tail. *)
+
+open Cgc_vm
+
+type representation =
+  | Embedded  (** figure 3: right/down pointer fields inside vertices *)
+  | Separate  (** figure 4: rows and columns are chains of cons cells *)
+
+type result = {
+  representation : representation;
+  rows : int;
+  cols : int;
+  total_cells : int;  (** vertices plus (for [Separate]) spine cons cells *)
+  retained_cells : int;
+  retained_fraction : float;
+  injected_at : Addr.t;
+}
+
+val run_one : ?seed:int -> representation -> rows:int -> cols:int -> target:int -> result
+(** Build the grid, drop the real roots, inject one false reference to
+    structure cell number [target] (an index into the cells, vertices
+    first), collect, and count what survived. *)
+
+type summary = {
+  s_representation : representation;
+  s_rows : int;
+  s_cols : int;
+  trials : int;
+  mean_fraction : float;
+  max_fraction : float;
+  min_fraction : float;
+}
+
+val run_trials : ?seed:int -> representation -> rows:int -> cols:int -> trials:int -> summary
+(** Repeat {!run_one} with uniformly random targets. *)
+
+val pp_summary : Format.formatter -> summary -> unit

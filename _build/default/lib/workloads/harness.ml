@@ -1,0 +1,37 @@
+open Cgc_vm
+
+type t = {
+  mem : Mem.t;
+  data : Segment.t;
+  stack : Segment.t;
+  gc : Cgc.Gc.t;
+  machine : Cgc_mutator.Machine.t;
+}
+
+let create ?(seed = 7) ?(endian = Endian.Little) ?config ?machine_config ?(heap_kb = 4096) () =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { Cgc.Config.default with Cgc.Config.initial_pages = 16 }
+  in
+  let mem = Mem.create ~endian () in
+  let data =
+    Mem.map mem ~name:"roots" ~kind:Segment.Static_data ~base:(Addr.of_int 0x10000) ~size:0x1000
+  in
+  let stack =
+    Mem.map mem ~name:"stack" ~kind:Segment.Stack ~base:(Addr.of_int 0xEFF00000) ~size:0x40000
+  in
+  let gc =
+    Cgc.Gc.create ~config mem ~base:(Addr.of_int 0x400000) ~max_bytes:(heap_kb * 1024) ()
+  in
+  Cgc.Gc.add_static_root gc ~lo:(Segment.base data) ~hi:(Segment.limit data) ~label:"roots";
+  let machine = Cgc_mutator.Machine.create ?config:machine_config ~seed mem ~stack ~gc in
+  { mem; data; stack; gc; machine }
+
+let root_slot t i = Addr.add (Segment.base t.data) (4 * i)
+let set_root t i v = Segment.write_word t.data (root_slot t i) v
+let get_root t i = Segment.read_word t.data (root_slot t i)
+let clear_roots_area t = Segment.zero_range t.data (Segment.base t.data) ~len:(Segment.size t.data)
+
+let count_allocated t bases =
+  List.fold_left (fun acc a -> if Cgc.Gc.is_allocated t.gc a then acc + 1 else acc) 0 bases

@@ -1,0 +1,36 @@
+(** Minimal clean environment for structure-retention experiments.
+
+    Unlike {!Platform.build_env}, the static segment contains nothing but
+    the experiment's own root slots, so every retained byte is
+    attributable to the experiment's injected references. *)
+
+open Cgc_vm
+
+type t = {
+  mem : Mem.t;
+  data : Segment.t;
+  stack : Segment.t;
+  gc : Cgc.Gc.t;
+  machine : Cgc_mutator.Machine.t;
+}
+
+val create :
+  ?seed:int ->
+  ?endian:Endian.t ->
+  ?config:Cgc.Config.t ->
+  ?machine_config:Cgc_mutator.Machine.config ->
+  ?heap_kb:int ->
+  unit ->
+  t
+(** Defaults: little-endian, default collector configuration (with a
+    16-page initial heap), default machine, 4 MB heap reserve. *)
+
+val root_slot : t -> int -> Addr.t
+(** Address of root word [i] in the static segment. *)
+
+val set_root : t -> int -> int -> unit
+val get_root : t -> int -> int
+val clear_roots_area : t -> unit
+
+val count_allocated : t -> Addr.t list -> int
+(** How many of the given object bases are still allocated. *)

@@ -1,0 +1,79 @@
+module Config = Cgc.Config
+
+type probe = {
+  size_kb : int;
+  anywhere_ok : bool;
+  first_page_ok : bool;
+}
+
+type result = {
+  black_pages : int;
+  heap_pages : int;
+  probes : probe list;
+  largest_anywhere_kb : int;
+  largest_first_page_kb : int;
+}
+
+let try_place ~seed ~platform ~large_validity ~size_kb =
+  let platform =
+    {
+      platform with
+      Platform.gc_tweak =
+        (fun c ->
+          {
+            (platform.Platform.gc_tweak c) with
+            Config.large_validity;
+            interior_pointers = true;
+            blacklisting = true;
+          });
+    }
+  in
+  (* modest reserve: the denser the blacklist relative to the reserve,
+     the harder large placement gets — as on the real SPARC *)
+  let env = Platform.build_env ~seed ~blacklisting:true ~heap_max:(8 * 1024 * 1024) platform in
+  let gc = env.Platform.gc in
+  (* startup collection populates the blacklist before any allocation *)
+  Cgc.Gc.collect gc;
+  Cgc.Gc.set_auto_collect gc false;
+  let ok =
+    match Cgc.Gc.allocate gc (size_kb * 1024) with
+    | (_ : Cgc_vm.Addr.t) -> true
+    | exception Cgc.Gc.Out_of_memory _ -> false
+  in
+  (ok, Cgc.Gc.blacklisted_pages gc, Cgc.Heap.n_pages (Cgc.Gc.heap gc))
+
+let run ?(seed = 1993) ?(platform = Platform.sparc_static ~optimized:false) ~sizes_kb () =
+  let black = ref 0 and pages = ref 0 in
+  let probes =
+    List.map
+      (fun size_kb ->
+        let anywhere_ok, b, p = try_place ~seed ~platform ~large_validity:Config.Anywhere ~size_kb in
+        let first_page_ok, _, _ =
+          try_place ~seed ~platform ~large_validity:Config.First_page_only ~size_kb
+        in
+        black := b;
+        pages := p;
+        { size_kb; anywhere_ok; first_page_ok })
+      sizes_kb
+  in
+  let largest pred =
+    List.fold_left (fun acc p -> if pred p then max acc p.size_kb else acc) 0 probes
+  in
+  {
+    black_pages = !black;
+    heap_pages = !pages;
+    probes;
+    largest_anywhere_kb = largest (fun p -> p.anywhere_ok);
+    largest_first_page_kb = largest (fun p -> p.first_page_ok);
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>blacklist: %d of %d heap pages@," r.black_pages r.heap_pages;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %5d KB: anywhere=%s first-page-only=%s@," p.size_kb
+        (if p.anywhere_ok then "ok " else "FAIL")
+        (if p.first_page_ok then "ok " else "FAIL"))
+    r.probes;
+  Format.fprintf ppf "largest placeable: %d KB (anywhere), %d KB (first-page-only)@]"
+    r.largest_anywhere_kb r.largest_first_page_kb

@@ -1,0 +1,137 @@
+open Cgc_vm
+module Machine = Cgc_mutator.Machine
+module Builder = Cgc_mutator.Builder
+
+type mode =
+  | Careless
+  | Cleared
+  | Optimized
+
+type result = {
+  mode : mode;
+  elements : int;
+  iterations : int;
+  max_live_cells : int;
+  final_live_cells : int;
+  cells_allocated : int;
+  collections : int;
+}
+
+let machine_config_of = function
+  | Careless ->
+      {
+        Machine.default_config with
+        Machine.frame_padding = 16;
+        allocator_self_cleanup = false;
+        stack_clearing = false;
+      }
+  | Cleared ->
+      {
+        Machine.default_config with
+        Machine.frame_padding = 16;
+        allocator_self_cleanup = false (* only the cheap stack clearing is added *);
+        stack_clearing = true;
+        stack_clear_period = 2;
+        stack_clear_words = 4096;
+      }
+  | Optimized ->
+      {
+        Machine.default_config with
+        Machine.frame_padding = 2;
+        allocator_self_cleanup = true;
+        stack_clearing = false;
+      }
+
+(* Naive non-destructive reversal: reverse l = append (reverse (cdr l))
+   [car l].  Each call gets a real simulated frame, so the recursion
+   paints the stack with cons pointers exactly as compiled C would. *)
+(* reverse and append use different frame shapes (as two distinct C
+   functions would): a popped append frame's written slots land inside a
+   later reverse frame's never-written area and vice versa — the
+   "unnecessarily large stack frames, parts of which are never written"
+   effect of section 3.1. *)
+let rec naive_reverse h poll l =
+  let m = h.Harness.machine in
+  Machine.call m ~slots:3 (fun frame ->
+      if l = Builder.nil then Builder.nil
+      else begin
+        Machine.set_local frame 0 l;
+        let rest = naive_reverse h poll (Builder.cdr m (Addr.of_int l)) in
+        Machine.set_local frame 1 rest;
+        let single = Builder.cons m ~car:(Builder.car m (Addr.of_int l)) ~cdr:Builder.nil in
+        poll ();
+        Machine.set_local frame 2 (Addr.to_int single);
+        Addr.to_int (append h poll rest (Addr.to_int single))
+      end)
+
+and append h poll a b =
+  let m = h.Harness.machine in
+  Machine.call m ~slots:8 (fun frame ->
+      if a = Builder.nil then Addr.of_int b
+      else begin
+        Machine.set_local frame 0 a;
+        Machine.set_local frame 1 b;
+        let tail = append h poll (Builder.cdr m (Addr.of_int a)) b in
+        Machine.set_local frame 2 (Addr.to_int tail);
+        let c = Builder.cons m ~car:(Builder.car m (Addr.of_int a)) ~cdr:(Addr.to_int tail) in
+        poll ();
+        c
+      end)
+
+(* The tail-recursive version "optimized to a loop": one frame, two
+   locals, constant stack. *)
+let loop_reverse h poll l =
+  let m = h.Harness.machine in
+  Machine.call m ~slots:2 (fun frame ->
+      Machine.set_local frame 0 l;
+      Machine.set_local frame 1 Builder.nil;
+      while Machine.get_local frame 0 <> Builder.nil do
+        let cur = Addr.of_int (Machine.get_local frame 0) in
+        let c = Builder.cons m ~car:(Builder.car m cur) ~cdr:(Machine.get_local frame 1) in
+        poll ();
+        Machine.set_local frame 1 (Addr.to_int c);
+        Machine.set_local frame 0 (Builder.cdr m cur)
+      done;
+      Addr.of_int (Machine.get_local frame 1))
+
+let run ?(seed = 7) mode ~elements ~iterations =
+  if elements < 1 || iterations < 1 then invalid_arg "List_reverse.run: empty workload";
+  let h = Harness.create ~seed ~machine_config:(machine_config_of mode) ~heap_kb:16384 () in
+  let gc = h.Harness.gc in
+  let stats = Cgc.Gc.stats gc in
+  let max_live = ref 0 in
+  (* live_objects is refreshed at every sweep, so polling after each
+     allocation observes every (auto or explicit) collection's count *)
+  let poll () = if stats.Cgc.Stats.live_objects > !max_live then max_live := stats.Cgc.Stats.live_objects in
+  let original = Builder.list_of h.Harness.machine (List.init elements Fun.id) in
+  Harness.set_root h 0 (Addr.to_int original);
+  for _ = 1 to iterations do
+    let reversed =
+      match mode with
+      | Careless | Cleared -> naive_reverse h poll (Addr.to_int original)
+      | Optimized -> loop_reverse h poll (Addr.to_int original)
+    in
+    Harness.set_root h 1 (Addr.to_int reversed)
+  done;
+  Cgc.Gc.collect gc;
+  poll ();
+  {
+    mode;
+    elements;
+    iterations;
+    max_live_cells = !max_live;
+    final_live_cells = stats.Cgc.Stats.live_objects;
+    cells_allocated = stats.Cgc.Stats.objects_allocated;
+    collections = stats.Cgc.Stats.collections;
+  }
+
+let mode_name = function
+  | Careless -> "careless"
+  | Cleared -> "stack-cleared"
+  | Optimized -> "optimized"
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%-13s reverse %d x%d: max %d cells apparently live (final %d, %d allocated, %d GCs)"
+    (mode_name r.mode) r.elements r.iterations r.max_live_cells r.final_live_cells
+    r.cells_allocated r.collections

@@ -1,0 +1,54 @@
+open Cgc_vm
+
+type prediction = {
+  platform : string;
+  lists : int;
+  scanned_words : int;
+  in_band_words : int;
+  list_share : float;
+  predicted_retention_percent : float;
+}
+
+let predict ?(seed = 1993) ?lists ?nodes (platform : Platform.t) =
+  let platform = Platform.scale ?lists ?nodes_per_list:nodes platform in
+  let lists = platform.Platform.lists in
+  let list_bytes = lists * platform.Platform.nodes_per_list * platform.Platform.cell_bytes in
+  let occupied = list_bytes + platform.Platform.other_live_bytes in
+  (* mirror Program_t.run's reserve so the environment is identical *)
+  let heap_max = max (4 * occupied) (8 * 1024 * 1024) in
+  let env = Platform.build_env ~seed ~blacklisting:false ~heap_max platform in
+  let heap_base = Addr.to_int (Cgc.Heap.base (Cgc.Gc.heap env.Platform.gc)) in
+  (* the collector's own page metadata and free slop widen the band a
+     little; 10% matches observed committed/live ratios for these runs *)
+  let band_hi = heap_base + int_of_float (1.1 *. float_of_int occupied) in
+  let scanned = ref 0 in
+  let in_band = ref 0 in
+  (* integer-like pollution is bottom-heavy, so many in-band words hit
+     the same low lists; predicting from distinct hit slices (one slice
+     per list, in allocation order) accounts for that clustering *)
+  let slice_bytes = max 1 (int_of_float (1.1 *. float_of_int occupied) / lists) in
+  let hit = Array.make lists false in
+  Segment.iter_words env.Platform.data ~alignment:platform.Platform.scan_alignment
+    ~lo:(Segment.base env.Platform.data) ~hi:(Segment.limit env.Platform.data)
+    (fun _ value ->
+      incr scanned;
+      if value >= heap_base && value < band_hi then begin
+        incr in_band;
+        let slice = (value - heap_base) / slice_bytes in
+        if slice < lists then hit.(slice) <- true
+      end);
+  let list_share = float_of_int list_bytes /. float_of_int (max occupied 1) in
+  let slices_hit = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 hit in
+  let p_retained = list_share *. float_of_int slices_hit /. float_of_int lists in
+  {
+    platform = platform.Platform.name;
+    lists;
+    scanned_words = !scanned;
+    in_band_words = !in_band;
+    list_share;
+    predicted_retention_percent = 100. *. p_retained;
+  }
+
+let pp ppf p =
+  Format.fprintf ppf "%-18s %6d scanned, %4d in band (share %.2f) -> predicted %5.1f%%"
+    p.platform p.scanned_words p.in_band_words p.list_share p.predicted_retention_percent

@@ -1,0 +1,35 @@
+(** First-principles retention prediction.
+
+    The paper frames leakage as a probability question: a dropped list
+    is retained if {e any} scanned word happens to name one of its
+    cells.  Given a platform's static pollution, this module counts the
+    words that fall inside the region the heap will occupy, and converts
+    the count into a predicted no-blacklisting retention:
+
+    The occupied region is divided into one slice per list (lists are
+    laid out in allocation order); a list is predicted retained when its
+    slice receives at least one in-band word, scaled by the share of the
+    region that holds list cells rather than ballast:
+
+    {v predicted = list_share * |slices hit| / L v}
+
+    The slice formulation matters because integer-like pollution is
+    bottom-heavy: many in-band words cluster on the same low slices.
+    Comparing the prediction with the measured run separates "the
+    generator is tuned right" from "the collector behaves right". *)
+
+type prediction = {
+  platform : string;
+  lists : int;
+  scanned_words : int;  (** static words examined (at the platform's alignment) *)
+  in_band_words : int;  (** those falling inside the occupied heap region *)
+  list_share : float;
+  predicted_retention_percent : float;
+}
+
+val predict : ?seed:int -> ?lists:int -> ?nodes:int -> Platform.t -> prediction
+(** Builds the platform's static data (exactly as {!Program_t.run}
+    would), scans it, and applies the formula.  Purely static: no
+    allocation, no collection. *)
+
+val pp : Format.formatter -> prediction -> unit

@@ -1,0 +1,110 @@
+open Cgc_vm
+module Machine = Cgc_mutator.Machine
+module Builder = Cgc_mutator.Builder
+
+type result = {
+  threads : int;
+  awake : bool;
+  lists : int;
+  retained : int;
+  retention_percent : float;
+}
+
+(* PCR thread stacks are not cleared by the collector. *)
+let worker_config =
+  { Machine.default_config with Machine.frame_padding = 6; allocator_self_cleanup = false }
+
+(* A worker handles a few cells of a list: realistic processing that
+   leaves cell pointers in its (soon stale) frames.  Frame shapes vary
+   from list to list, as different handler functions would, so several
+   lists' pointers survive the overwrites. *)
+let process_list worker gc index head =
+  Machine.call worker ~slots:(3 + (index mod 5)) (fun frame ->
+      Machine.set_local frame 0 (Addr.to_int head);
+      let cursor = ref head in
+      for step = 1 to 8 do
+        Machine.set_local frame (1 + (step mod 2)) (Addr.to_int !cursor);
+        cursor := Addr.of_int (Cgc.Gc.get_field gc !cursor 0)
+      done)
+
+(* Fresh, pointer-free work: overwrites the worker's stack with harmless
+   values — what waking up and serving an unrelated request does. *)
+let fresh_work worker =
+  let rec busy depth =
+    if depth > 0 then
+      Machine.call worker ~slots:6 (fun frame ->
+          for i = 0 to 5 do
+            Machine.set_local frame i (depth * 17 + i)
+          done;
+          busy (depth - 1))
+  in
+  busy 24
+
+let run ?(seed = 1993) ?(lists = 80) ?(nodes = 600) ~threads ~awake () =
+  (* a quiet PCR world: blacklisting on so static pollution is out of the
+     way and thread stacks are the only leak source under study *)
+  let platform =
+    {
+      (Platform.pcr) with
+      Platform.pollution = Platform.no_pollution;
+      other_live_bytes = 0;
+      machine_config = worker_config;
+    }
+  in
+  let env = Platform.build_env ~seed ~blacklisting:true ~heap_max:(16 * 1024 * 1024) platform in
+  let gc = env.Platform.gc in
+  let main = env.Platform.machine in
+  (* worker threads: each gets its own stack segment, sharing the collector *)
+  let workers =
+    List.init threads (fun i ->
+        let stack =
+          Mem.map env.Platform.mem ~name:(Printf.sprintf "thread-%d" i) ~kind:Segment.Stack
+            ~base:(Addr.of_int (0xD0000000 + (i * 0x20000)))
+            ~size:0x10000
+        in
+        Machine.create ~config:worker_config ~seed:(seed + i) env.Platform.mem ~stack ~gc)
+  in
+  (* build the lists, rooted in the globals *)
+  let heads =
+    Array.init lists (fun i ->
+        let h = Builder.alloc_cycle ~cell_bytes:8 main ~n:nodes in
+        Segment.write_word env.Platform.data (Addr.add env.Platform.globals_base (4 * i))
+          (Addr.to_int h);
+        h)
+  in
+  (* workers each process a share of the lists, then block *)
+  List.iteri
+    (fun w worker ->
+      Array.iteri (fun i h -> if i mod max 1 threads = w then process_list worker gc i h) heads;
+      Machine.clear_registers worker;
+      Machine.park worker ~words:48)
+    workers;
+  (* the program drops every list *)
+  for i = 0 to lists - 1 do
+    Segment.write_word env.Platform.data (Addr.add env.Platform.globals_base (4 * i)) 0
+  done;
+  Machine.clear_registers main;
+  (* optionally, the workers wake up and do unrelated work *)
+  if awake then
+    List.iter
+      (fun worker ->
+        Machine.unpark worker;
+        fresh_work worker;
+        Machine.clear_registers worker;
+        Machine.park worker ~words:48)
+      workers;
+  Cgc.Gc.collect gc;
+  Cgc.Gc.collect gc;
+  let retained = Array.fold_left (fun acc h -> if Cgc.Gc.is_allocated gc h then acc + 1 else acc) 0 heads in
+  {
+    threads;
+    awake;
+    lists;
+    retained;
+    retention_percent = 100. *. float_of_int retained /. float_of_int lists;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "%d thread(s), %s: retained %d/%d lists (%.1f%%)" r.threads
+    (if r.awake then "woken after drop" else "idle")
+    r.retained r.lists r.retention_percent

@@ -1,0 +1,25 @@
+(** Background thread stacks and apparent leakage (appendix B, PCR).
+
+    "The larger address spaces included more background threads that
+    woke up regularly during the experiment.  This seemed to have a
+    beneficial effect of clearing out thread stacks, and thus tended to
+    reduce apparent leakage."  And among the persisting leak sources:
+    "garbage left by the allocator itself on other thread stacks"; "the
+    PCR collector does not attempt to clear thread stacks".
+
+    The experiment: worker threads briefly handle list cells, then block
+    (park) with their stacks uncleared.  Idle workers pin the lists they
+    touched; workers that wake up and do fresh (harmless) work overwrite
+    their stacks and release them. *)
+
+type result = {
+  threads : int;
+  awake : bool;  (** whether workers ran again after the lists were dropped *)
+  lists : int;
+  retained : int;
+  retention_percent : float;
+}
+
+val run : ?seed:int -> ?lists:int -> ?nodes:int -> threads:int -> awake:bool -> unit -> result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,158 @@
+open Cgc_vm
+module Machine = Cgc_mutator.Machine
+module Builder = Cgc_mutator.Builder
+
+type result = {
+  platform : string;
+  blacklisting : bool;
+  lists : int;
+  retained : int;
+  retention_percent : float;
+  false_refs : int;
+  blacklisted_pages : int;
+  collections : int;
+  committed_kb : int;
+  live_kb : int;
+  blacklist_ops : int;
+  words_scanned : int;
+  total_gc_seconds : float;
+}
+
+let token i = "list-" ^ string_of_int i
+
+(* The global array a[N] lives in the platform's static data segment,
+   exactly like the C global of appendix A. *)
+let a_slot env i = Addr.add env.Platform.globals_base (4 * i)
+let set_a env i v = Segment.write_word env.Platform.data (a_slot env i) v
+
+(* PCR rows: the surrounding Cedar world.  A chain of 64-word records
+   rooted in a reserved global; payload words are mostly zero with the
+   occasional integer that the conservative scan must cope with. *)
+let allocate_ballast env rng bytes =
+  if bytes > 0 then begin
+    let m = env.Platform.machine in
+    let gc = env.Platform.gc in
+    let record_bytes = 256 in
+    let n = bytes / record_bytes in
+    let root_slot = Addr.add env.Platform.globals_base (4 * (env.Platform.globals_words - 1)) in
+    for _ = 1 to n do
+      let r = Machine.allocate m record_bytes in
+      let prev = Segment.read_word env.Platform.data root_slot in
+      Cgc.Gc.set_field gc r 0 prev;
+      for w = 1 to (record_bytes / 4) - 1 do
+        (* payload integers stay below the heap: sizes, counts, character
+           data — live data mass without extra false references *)
+        if Rng.chance rng 0.05 then Cgc.Gc.set_field gc r w (Rng.int rng (1024 * 1024))
+      done;
+      Segment.write_word env.Platform.data root_slot (Addr.to_int r)
+    done
+  end
+
+(* One call to allot_cycle, inside its own stack frame: the frame's
+   locals hold the list head while it is being built, and linger in the
+   dead stack afterwards — the stale-pointer mechanism of section 3.1. *)
+let allot_cycle env ?finalizer ~cell_bytes ~nodes () =
+  let m = env.Platform.machine in
+  Machine.call m ~slots:3 (fun frame ->
+      let head = Builder.alloc_cycle ?finalizer ~cell_bytes m ~n:nodes in
+      Machine.set_local frame 0 (Addr.to_int head);
+      head)
+
+(* Appendix A's test(n): build the lists into a[], then drop them. *)
+let test env ~register_finalizers ~lists ~cell_bytes ~nodes =
+  let m = env.Platform.machine in
+  Machine.call m ~slots:2 (fun frame ->
+      for i = 0 to lists - 1 do
+        Machine.set_local frame 0 i;
+        let finalizer = if register_finalizers then Some (token i) else None in
+        let head = allot_cycle env ?finalizer ~cell_bytes ~nodes () in
+        set_a env i (Addr.to_int head)
+      done;
+      for i = 0 to lists - 1 do
+        Machine.set_local frame 0 i;
+        set_a env i 0
+      done)
+
+let gcollect env =
+  (* GC_gcollect is itself a call: its (uninitialized) frame re-exposes
+     a slice of the dead stack to the collector. *)
+  Machine.call env.Platform.machine ~slots:8 (fun _frame -> Cgc.Gc.collect env.Platform.gc)
+
+let run ?(seed = 1993) ?(blacklisting = true) ?prepare ?lists ?nodes (platform : Platform.t) =
+  let platform = Platform.scale ?lists ?nodes_per_list:nodes platform in
+  let lists = platform.Platform.lists in
+  let nodes = platform.Platform.nodes_per_list in
+  let cell_bytes = platform.Platform.cell_bytes in
+  (* reserve room for the lists plus collector slop; the blacklist covers
+     exactly this region ("the vicinity of the heap") *)
+  let live_estimate = (lists * nodes * cell_bytes) + platform.Platform.other_live_bytes in
+  let heap_max = max (4 * live_estimate) (8 * 1024 * 1024) in
+  let env = Platform.build_env ~seed ~blacklisting ~heap_max platform in
+  (match prepare with
+  | Some f -> f env
+  | None -> ());
+  if lists > env.Platform.globals_words - 8 then
+    invalid_arg "Program_t.run: too many lists for the reserved globals area";
+  let rng = Rng.create (seed lxor 0x5EED) in
+  allocate_ballast env rng platform.Platform.other_live_bytes;
+  (* the experiment proper *)
+  test env ~register_finalizers:true ~lists ~cell_bytes ~nodes;
+  (* background activity: occasionally-changing static variables create
+     false references after the pages are already in use *)
+  Platform.churn env platform rng;
+  gcollect env;
+  (* "Simulate further program execution to clear stack garbage.
+      This is not terribly effective." *)
+  test env ~register_finalizers:false ~lists ~cell_bytes ~nodes:2;
+  Platform.churn env platform rng;
+  gcollect env;
+  (* PCR methodology: collect until no further lists are finalized *)
+  let collected = ref 0 in
+  let count_tokens () =
+    List.iter
+      (fun (_, tok) -> if String.length tok >= 5 && String.sub tok 0 5 = "list-" then incr collected)
+      (Cgc.Gc.drain_finalized env.Platform.gc)
+  in
+  count_tokens ();
+  let rec settle tries =
+    let before = !collected in
+    gcollect env;
+    count_tokens ();
+    if !collected > before && tries > 0 then settle (tries - 1)
+  in
+  settle 4;
+  let stats = Cgc.Gc.stats env.Platform.gc in
+  let retained = lists - !collected in
+  {
+    platform = platform.Platform.name;
+    blacklisting;
+    lists;
+    retained;
+    retention_percent = 100. *. float_of_int retained /. float_of_int lists;
+    false_refs = stats.Cgc.Stats.false_refs;
+    blacklisted_pages = Cgc.Gc.blacklisted_pages env.Platform.gc;
+    collections = stats.Cgc.Stats.collections;
+    committed_kb = Cgc.Heap.committed_bytes (Cgc.Gc.heap env.Platform.gc) / 1024;
+    live_kb = stats.Cgc.Stats.live_bytes / 1024;
+    blacklist_ops = Cgc.Blacklist.ops (Cgc.Gc.blacklist env.Platform.gc);
+    words_scanned = stats.Cgc.Stats.words_scanned;
+    total_gc_seconds = stats.Cgc.Stats.total_gc_seconds;
+  }
+
+type row = {
+  without_blacklisting : result;
+  with_blacklisting : result;
+}
+
+let run_row ?seed ?lists ?nodes platform =
+  {
+    without_blacklisting = run ?seed ~blacklisting:false ?lists ?nodes platform;
+    with_blacklisting = run ?seed ~blacklisting:true ?lists ?nodes platform;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-18s %-3s retained %3d/%3d (%5.1f%%)  false=%d black=%d gcs=%d heap=%dKB"
+    r.platform
+    (if r.blacklisting then "bl+" else "bl-")
+    r.retained r.lists r.retention_percent r.false_refs r.blacklisted_pages r.collections
+    r.committed_kb

@@ -1,0 +1,47 @@
+(** Program T — the paper's appendix A benchmark.
+
+    Allocates [lists] circular linked lists of [nodes_per_list] cells
+    each into a global array [a\[\]] in static data, drops every
+    intentional reference, and asks what fraction of the lists the
+    collector fails to reclaim.  Table 1 reports this with and without
+    blacklisting across five platforms. *)
+
+type result = {
+  platform : string;
+  blacklisting : bool;
+  lists : int;
+  retained : int;  (** lists whose finalizer never fired *)
+  retention_percent : float;
+  false_refs : int;  (** false references seen over all collections *)
+  blacklisted_pages : int;  (** currently black pages at the end *)
+  collections : int;
+  committed_kb : int;
+  live_kb : int;
+  blacklist_ops : int;
+  words_scanned : int;  (** total marker work, the denominator of the overhead claim *)
+  total_gc_seconds : float;
+}
+
+val run :
+  ?seed:int ->
+  ?blacklisting:bool ->
+  ?prepare:(Platform.env -> unit) ->
+  ?lists:int ->
+  ?nodes:int ->
+  Platform.t ->
+  result
+(** One full experiment: build environment, run [test(S)], collect, run
+    [test(2)] ("simulate further program execution to clear stack
+    garbage — this is not terribly effective"), collect, then keep
+    collecting until no further lists are finalized (the PCR
+    methodology: "once was usually enough"). *)
+
+type row = {
+  without_blacklisting : result;
+  with_blacklisting : result;
+}
+
+val run_row : ?seed:int -> ?lists:int -> ?nodes:int -> Platform.t -> row
+(** Both columns of a Table 1 row, same seed. *)
+
+val pp_result : Format.formatter -> result -> unit

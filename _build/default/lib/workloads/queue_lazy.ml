@@ -1,0 +1,58 @@
+open Cgc_vm
+module Builder = Cgc_mutator.Builder
+
+type result = {
+  ops : int;
+  window : int;
+  clear_links : bool;
+  false_ref_at : int;
+  dead_nodes_retained : int;
+  live_window_nodes : int;
+}
+
+let run ?(seed = 7) ?(window = 8) ?(false_ref_at = 10) ~clear_links ops =
+  if ops <= false_ref_at + window then
+    invalid_arg "Queue_lazy.run: ops must exceed false_ref_at + window";
+  let h = Harness.create ~seed () in
+  let gc = h.Harness.gc in
+  let q = Builder.queue_create h.Harness.machine in
+  (* the queue header is the structure's real (and only) root *)
+  Harness.set_root h 0 (Addr.to_int (Builder.queue_header q));
+  (* every node carries a finalization token, so reclamation is counted
+     by identity rather than by address (addresses get reused) *)
+  let finalized = ref 0 in
+  let drain () = finalized := !finalized + List.length (Cgc.Gc.drain_finalized gc) in
+  for i = 1 to ops do
+    let node = Builder.queue_push q i in
+    Cgc.Gc.add_finalizer gc node ~token:(string_of_int i);
+    if i = false_ref_at then
+      (* a stale integer that happens to name this node *)
+      Harness.set_root h 1 (Addr.to_int node);
+    while Builder.queue_length q > window do
+      ignore (Builder.queue_pop ~clear_link:clear_links q)
+    done
+  done;
+  Cgc.Gc.collect gc;
+  drain ();
+  let live_window = Harness.count_allocated h (Builder.queue_nodes q) in
+  let dead_total = ops - live_window in
+  {
+    ops;
+    window;
+    clear_links;
+    false_ref_at;
+    dead_nodes_retained = dead_total - !finalized;
+    live_window_nodes = live_window;
+  }
+
+let run_stream ?seed ?(false_ref_at = 10) ~clear_links ops =
+  run ?seed ~window:1 ~false_ref_at ~clear_links ops
+
+let growth_series ?seed ?window ~clear_links ops_list =
+  List.map (fun ops -> run ?seed ?window ~clear_links ops) ops_list
+
+let pp ppf r =
+  Format.fprintf ppf "%d ops, window %d, %s: %d dead nodes retained (live window %d)" r.ops
+    r.window
+    (if r.clear_links then "links cleared" else "links kept")
+    r.dead_nodes_retained r.live_window_nodes

@@ -1,0 +1,37 @@
+(** Section 4, the malignant case: queues (and lazy lists).
+
+    "Queues and lazy lists in particular have the problem that they grow
+    without bound, but typically only a section of bounded length is
+    accessible at any point.  A false reference can result in retention
+    of all the inaccessible elements, and thus unbounded heap growth."
+    And the fix: "queues no longer grow without bound if the queue link
+    field is cleared when an item is removed."
+
+    The experiment runs a bounded-window producer/consumer over a linked
+    queue, plants one false reference to an early node, and measures how
+    many dequeued (dead) nodes the collector must retain. *)
+
+type result = {
+  ops : int;  (** total enqueue operations *)
+  window : int;  (** live queue length maintained *)
+  clear_links : bool;
+  false_ref_at : int;  (** index of the node the false reference names *)
+  dead_nodes_retained : int;
+      (** dequeued nodes still allocated after a collection — grows with
+          [ops] when links are not cleared, stays ≈ 1 when they are *)
+  live_window_nodes : int;
+}
+
+val run : ?seed:int -> ?window:int -> ?false_ref_at:int -> clear_links:bool -> int -> result
+(** [run ~clear_links ops] *)
+
+val growth_series : ?seed:int -> ?window:int -> clear_links:bool -> int list -> result list
+(** The unbounded-growth curve: one run per operation count. *)
+
+val run_stream : ?seed:int -> ?false_ref_at:int -> clear_links:bool -> int -> result
+(** The lazy-list reading of the same hazard: a stream whose consumer
+    holds only the current cell (window 1) while cells are forced one at
+    a time.  A false reference to an already-consumed cell retains the
+    whole forced suffix unless consumed links are cleared. *)
+
+val pp : Format.formatter -> result -> unit

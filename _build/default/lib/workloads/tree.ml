@@ -1,0 +1,44 @@
+open Cgc_vm
+module Builder = Cgc_mutator.Builder
+
+type result = {
+  depth : int;
+  total_nodes : int;
+  trials : int;
+  mean_retained : float;
+  max_retained : int;
+}
+
+let run ?(seed = 7) ~depth ~trials () =
+  if trials < 1 then invalid_arg "Tree.run: need at least one trial";
+  let rng = Rng.create seed in
+  let retained_counts =
+    List.init trials (fun i ->
+        let h = Harness.create ~seed:(seed + i) () in
+        let root = Builder.tree_build h.Harness.machine ~depth in
+        Cgc_mutator.Machine.clear_registers h.Harness.machine;
+        Harness.set_root h 0 (Addr.to_int root);
+        Cgc.Gc.collect h.Harness.gc;
+        let nodes = Builder.tree_nodes h.Harness.machine root in
+        let total = List.length nodes in
+        assert (total = (1 lsl (depth + 1)) - 1);
+        Harness.set_root h 0 0;
+        let victim = List.nth nodes (Rng.int rng total) in
+        Harness.set_root h 1 (Addr.to_int victim);
+        Cgc.Gc.collect h.Harness.gc;
+        Harness.count_allocated h nodes)
+  in
+  let total_nodes = (1 lsl (depth + 1)) - 1 in
+  {
+    depth;
+    total_nodes;
+    trials;
+    mean_retained =
+      float_of_int (List.fold_left ( + ) 0 retained_counts) /. float_of_int trials;
+    max_retained = List.fold_left max 0 retained_counts;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "depth-%d tree (%d nodes), %d trials: mean %.1f nodes retained (height+1 = %d), max %d"
+    r.depth r.total_nodes r.trials r.mean_retained (r.depth + 1) r.max_retained

@@ -1,0 +1,21 @@
+(** Section 4, the benign case: balanced binary trees.
+
+    "The expected number of vertices retained as a result of a false
+    reference to a balanced binary tree with child links is
+    approximately equal to the height of the tree.  Thus a large number
+    of false references to such structures can usually be tolerated."
+    (A false reference to a uniformly random vertex retains that
+    vertex's subtree; over a perfect tree the expected subtree size is
+    ≈ height + 1.) *)
+
+type result = {
+  depth : int;
+  total_nodes : int;
+  trials : int;
+  mean_retained : float;  (** expected ≈ depth + 1 *)
+  max_retained : int;
+}
+
+val run : ?seed:int -> depth:int -> trials:int -> unit -> result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Addr Alcotest Array Cgc Cgc_vm Cgc_workloads Format List Mem Rng Segment String

@@ -1,0 +1,1 @@
+test/test_gc.ml: Addr Alcotest Array Cgc Cgc_vm Format List Mem Option Segment String

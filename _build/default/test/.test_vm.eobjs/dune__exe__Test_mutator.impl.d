@@ -1,0 +1,1 @@
+test/test_mutator.ml: Addr Alcotest Array Cgc Cgc_mutator Cgc_vm Fun List Mem Segment

@@ -1,0 +1,1 @@
+test/test_props.ml: Addr Alcotest Array Bitset Cgc Cgc_vm Endian Gen Hashtbl List Mem Option QCheck QCheck_alcotest Rng Segment

@@ -1,0 +1,1 @@
+test/test_soak.ml: Addr Alcotest Array Cgc Cgc_vm List Mem Rng Segment

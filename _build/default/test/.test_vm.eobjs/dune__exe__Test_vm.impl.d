@@ -1,0 +1,1 @@
+test/test_vm.ml: Addr Alcotest Bitset Cgc_vm Endian Layout List Mem Rng Segment

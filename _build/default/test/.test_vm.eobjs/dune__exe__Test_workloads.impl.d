@@ -1,0 +1,1 @@
+test/test_workloads.ml: Addr Alcotest Cgc Cgc_mutator Cgc_vm Cgc_workloads Float List Printf Rng Segment

@@ -1,0 +1,403 @@
+(* Property-based tests (qcheck) for core data structures and the
+   collector's fundamental invariants. *)
+
+open Cgc_vm
+module Gc = Cgc.Gc
+module Config = Cgc.Config
+module Heap = Cgc.Heap
+module Blacklist = Cgc.Blacklist
+module Explicit = Cgc.Explicit
+module Free_list = Cgc.Free_list
+module Size_class = Cgc.Size_class
+
+let count = 200
+
+(* --- bitset vs a reference model --- *)
+
+type bitset_op =
+  | Add of int
+  | Remove of int
+
+let bitset_ops_gen n =
+  QCheck.Gen.(
+    list_size (int_bound 100)
+      (map2 (fun b i -> if b then Add (i mod n) else Remove (i mod n)) bool (int_bound (n - 1))))
+
+let prop_bitset_model =
+  let n = 150 in
+  QCheck.Test.make ~count ~name:"bitset agrees with a set model"
+    (QCheck.make (bitset_ops_gen n))
+    (fun ops ->
+      let bs = Bitset.create n in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          match op with
+          | Add i ->
+              Bitset.add bs i;
+              Hashtbl.replace model i ()
+          | Remove i ->
+              Bitset.remove bs i;
+              Hashtbl.remove model i)
+        ops;
+      let ok = ref (Bitset.count bs = Hashtbl.length model) in
+      for i = 0 to n - 1 do
+        if Bitset.mem bs i <> Hashtbl.mem model i then ok := false
+      done;
+      (* iteration visits exactly the members, ascending *)
+      let visited = List.rev (Bitset.fold (fun acc i -> i :: acc) [] bs) in
+      !ok
+      && List.sort compare visited = visited
+      && List.for_all (Hashtbl.mem model) visited
+      && List.length visited = Hashtbl.length model)
+
+(* --- address arithmetic --- *)
+
+let prop_addr_align =
+  QCheck.Test.make ~count ~name:"align_down/align_up bracket the address"
+    QCheck.(pair (int_bound 0x7FFFFFF) (int_bound 4))
+    (fun (a, k) ->
+      let n = 1 lsl (k + 2) in
+      let a = Addr.of_int a in
+      let down = Addr.align_down a n and up = Addr.align_up a n in
+      Addr.is_aligned down n && Addr.is_aligned up n
+      && Addr.to_int down <= Addr.to_int a
+      && Addr.to_int a <= Addr.to_int up
+      && Addr.to_int up - Addr.to_int down < 2 * n)
+
+let prop_addr_trailing_zeros =
+  QCheck.Test.make ~count ~name:"trailing_zeros matches the definition"
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun a ->
+      let a = a + 1 in
+      let tz = Addr.trailing_zeros (Addr.of_int a) in
+      a mod (1 lsl tz) = 0 && a mod (1 lsl (tz + 1)) <> 0)
+
+(* --- segment word access --- *)
+
+let prop_segment_roundtrip =
+  QCheck.Test.make ~count ~name:"word write/read round-trips at any offset and endianness"
+    QCheck.(triple (int_bound 250) (int_bound 0xFFFFFFF) bool)
+    (fun (off, v, big) ->
+      let endian = if big then Endian.Big else Endian.Little in
+      let seg =
+        Segment.create ~name:"p" ~kind:(Segment.Other "prop") ~endian ~base:(Addr.of_int 0x1000)
+          ~size:256
+      in
+      let a = Addr.of_int (0x1000 + min off 252) in
+      Segment.write_word seg a v;
+      Segment.read_word seg a = v land 0xFFFFFFFF)
+
+let prop_segment_endian_assembly =
+  QCheck.Test.make ~count ~name:"word equals bytes assembled per endianness"
+    QCheck.(pair (int_bound 0xFFFFFFF) bool)
+    (fun (v, big) ->
+      let endian = if big then Endian.Big else Endian.Little in
+      let seg =
+        Segment.create ~name:"p" ~kind:(Segment.Other "prop") ~endian ~base:Addr.zero ~size:8
+      in
+      Segment.write_word seg Addr.zero v;
+      let b i = Segment.read_u8 seg (Addr.of_int i) in
+      let assembled =
+        if big then (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+        else (b 3 lsl 24) lor (b 2 lsl 16) lor (b 1 lsl 8) lor b 0
+      in
+      assembled = v land 0xFFFFFFFF)
+
+(* --- rng --- *)
+
+let prop_rng_bound =
+  QCheck.Test.make ~count ~name:"Rng.int stays in bounds"
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int rng bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+(* --- size classes --- *)
+
+let prop_size_class_rounding =
+  QCheck.Test.make ~count ~name:"granule rounding covers the request exactly"
+    QCheck.(int_range 1 2048)
+    (fun bytes ->
+      let sc = Size_class.create Config.default in
+      let g = Size_class.granules_for sc bytes in
+      let rounded = Size_class.bytes_of_granules sc g in
+      rounded >= bytes && rounded - bytes < Size_class.granule sc)
+
+(* --- free lists --- *)
+
+let prop_free_list_address_ordered =
+  QCheck.Test.make ~count ~name:"address-ordered free list pops in ascending order"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_bound 100_000))
+    (fun addrs ->
+      let fl = Free_list.create ~n_classes:4 Free_list.Address_ordered in
+      List.iter (fun a -> Free_list.add fl ~granules:2 ~pointer_free:false (4 * a)) addrs;
+      let rec drain acc =
+        match Free_list.take fl ~granules:2 ~pointer_free:false with
+        | None -> List.rev acc
+        | Some a -> drain (a :: acc)
+      in
+      let popped = drain [] in
+      List.length popped = List.length addrs && List.sort compare popped = popped)
+
+(* --- the collector's fundamental invariants --- *)
+
+(* A random object graph: [n] objects of 2-4 words; random pointer
+   fields; a random subset of objects named by root slots.  After a
+   collection, an object must be allocated iff the model says it is
+   reachable. *)
+type graph = {
+  g_sizes : int array;  (** words per object *)
+  g_edges : (int * int * int) list;  (** (src object, field, dst object) *)
+  g_roots : int list;  (** object indexes held by root slots *)
+}
+
+let graph_gen =
+  QCheck.Gen.(
+    int_range 2 40 >>= fun n ->
+    (* mostly small objects; occasionally a multi-page large one (the
+       first four fields of large objects are still scanned pointers) *)
+    array_size (return n) (frequency [ (9, int_range 2 4); (1, return 1500) ]) >>= fun sizes ->
+    list_size (int_bound (2 * n)) (triple (int_bound (n - 1)) (int_bound 3) (int_bound (n - 1)))
+    >>= fun raw_edges ->
+    list_size (int_bound (max 1 (n / 3))) (int_bound (n - 1)) >>= fun roots ->
+    let edges =
+      List.filter_map
+        (fun (s, f, d) -> if f < sizes.(s) then Some (s, f, d) else None)
+        raw_edges
+    in
+    return { g_sizes = sizes; g_edges = edges; g_roots = roots })
+
+(* Field writes are applied in order, so only the last write to a given
+   (object, field) pair is an edge of the final graph. *)
+let final_edges g =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (s, f, d) -> Hashtbl.replace tbl (s, f) d) g.g_edges;
+  Hashtbl.fold (fun (s, _) d acc -> (s, d) :: acc) tbl []
+
+let reachable g =
+  let n = Array.length g.g_sizes in
+  let edges = final_edges g in
+  let seen = Array.make n false in
+  let rec visit i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter (fun (s, d) -> if s = i then visit d) edges
+    end
+  in
+  List.iter visit g.g_roots;
+  seen
+
+let build_graph_env g =
+  let mem = Mem.create () in
+  let data =
+    Mem.map mem ~name:"roots" ~kind:Segment.Static_data ~base:(Addr.of_int 0x10000) ~size:0x1000
+  in
+  let gc = Gc.create mem ~base:(Addr.of_int 0x400000) ~max_bytes:(4 * 1024 * 1024) () in
+  Gc.set_auto_collect gc false;
+  Gc.add_static_root gc ~lo:(Segment.base data) ~hi:(Segment.limit data) ~label:"roots";
+  let objs = Array.map (fun words -> Gc.allocate gc (4 * words)) g.g_sizes in
+  List.iter (fun (s, f, d) -> Gc.set_field gc objs.(s) f (Addr.to_int objs.(d))) g.g_edges;
+  List.iteri (fun i r -> Segment.write_word data (Addr.add (Segment.base data) (4 * i)) (Addr.to_int objs.(r))) g.g_roots;
+  (gc, objs)
+
+let prop_gc_reachability_exact =
+  QCheck.Test.make ~count ~name:"collection keeps exactly the reachable objects"
+    (QCheck.make graph_gen) (fun g ->
+      let gc, objs = build_graph_env g in
+      Gc.collect gc;
+      let expect = reachable g in
+      let ok = ref true in
+      Array.iteri
+        (fun i o -> if Gc.is_allocated gc o <> expect.(i) then ok := false)
+        objs;
+      !ok)
+
+let prop_gc_idempotent =
+  QCheck.Test.make ~count:100 ~name:"a second collection frees nothing more"
+    (QCheck.make graph_gen) (fun g ->
+      let gc, objs = build_graph_env g in
+      Gc.collect gc;
+      let snapshot = Array.map (Gc.is_allocated gc) objs in
+      Gc.collect gc;
+      let again = Array.map (Gc.is_allocated gc) objs in
+      snapshot = again)
+
+let prop_gc_conservation =
+  QCheck.Test.make ~count:100 ~name:"allocated = live + freed (object counts)"
+    (QCheck.make graph_gen) (fun g ->
+      let gc, _ = build_graph_env g in
+      Gc.collect gc;
+      let s = Gc.stats gc in
+      s.Cgc.Stats.objects_allocated = s.Cgc.Stats.live_objects + s.Cgc.Stats.objects_freed)
+
+(* Figure 2's guarantee: a page named by a standing false reference is
+   never handed to a pointer-bearing allocation. *)
+let prop_blacklist_invariant =
+  QCheck.Test.make ~count:60 ~name:"no pointer-bearing object lands on a blacklisted page"
+    QCheck.(pair (int_range 1 60) (int_range 1 400))
+    (fun (page, allocs) ->
+      let mem = Mem.create () in
+      let data =
+        Mem.map mem ~name:"roots" ~kind:Segment.Static_data ~base:(Addr.of_int 0x10000) ~size:0x100
+      in
+      let config = { Config.default with Config.initial_pages = 4 } in
+      let gc = Gc.create ~config mem ~base:(Addr.of_int 0x400000) ~max_bytes:(1024 * 1024) () in
+      Gc.add_static_root gc ~lo:(Segment.base data) ~hi:(Segment.limit data) ~label:"roots";
+      let heap = Gc.heap gc in
+      let page = page mod Heap.n_pages heap in
+      Segment.write_word data (Segment.base data)
+        (Addr.to_int (Addr.add (Heap.page_addr heap page) 4));
+      let ok = ref true in
+      for _ = 1 to allocs do
+        (* the startup collection (before the first allocation) must
+           already have blacklisted the page *)
+        let a = Gc.allocate gc 8 in
+        if Heap.page_index heap a = page then ok := false
+      done;
+      !ok && Blacklist.is_black (Gc.blacklist gc) page)
+
+(* --- explicit allocator vs model --- *)
+
+type malloc_op =
+  | Malloc of int
+  | Free of int  (** index into previously returned, still-live objects *)
+
+let malloc_ops_gen =
+  QCheck.Gen.(
+    list_size (int_bound 120)
+      (map2
+         (fun b k -> if b then Malloc (8 + (8 * (k mod 8))) else Free k)
+         bool (int_bound 1000)))
+
+let prop_explicit_model =
+  QCheck.Test.make ~count ~name:"explicit allocator agrees with a live-set model"
+    (QCheck.make malloc_ops_gen) (fun ops ->
+      let mem = Mem.create () in
+      let e = Explicit.create mem ~base:(Addr.of_int 0x400000) ~max_bytes:(1024 * 1024) () in
+      let live = ref [] in
+      let live_bytes = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Malloc bytes ->
+              let a = Explicit.malloc e bytes in
+              live := (a, bytes) :: !live;
+              live_bytes := !live_bytes + bytes
+          | Free k -> (
+              match !live with
+              | [] -> ()
+              | l ->
+                  let idx = k mod List.length l in
+                  let a, bytes = List.nth l idx in
+                  Explicit.free e a;
+                  live := List.filteri (fun i _ -> i <> idx) l;
+                  live_bytes := !live_bytes - bytes))
+        ops;
+      Explicit.live_bytes e = !live_bytes
+      && Explicit.live_objects e = List.length !live
+      && List.for_all (fun (a, _) -> Explicit.is_allocated e a) !live)
+
+(* Addresses handed out by the allocator never overlap. *)
+let prop_gc_no_overlap =
+  QCheck.Test.make ~count:100 ~name:"allocated objects never overlap"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) (int_range 1 300)))
+    (fun sizes ->
+      let mem = Mem.create () in
+      let gc = Gc.create mem ~base:(Addr.of_int 0x400000) ~max_bytes:(4 * 1024 * 1024) () in
+      Gc.set_auto_collect gc false;
+      let objs = List.map (fun s -> (Gc.allocate gc s, s)) sizes in
+      let ranges =
+        List.map
+          (fun (a, s) ->
+            let size = Option.value (Gc.object_size gc a) ~default:s in
+            (Addr.to_int a, Addr.to_int a + size))
+          objs
+      in
+      let sorted = List.sort compare ranges in
+      let rec no_overlap = function
+        | (_, hi) :: ((lo, _) :: _ as rest) -> hi <= lo && no_overlap rest
+        | [ _ ] | [] -> true
+      in
+      no_overlap sorted)
+
+(* The Verify checker finds nothing after arbitrary build-and-collect
+   sequences. *)
+let build_graph_env_with config g =
+  let mem = Mem.create () in
+  let data =
+    Mem.map mem ~name:"roots" ~kind:Segment.Static_data ~base:(Addr.of_int 0x10000) ~size:0x1000
+  in
+  let gc = Gc.create ~config mem ~base:(Addr.of_int 0x400000) ~max_bytes:(1024 * 1024) () in
+  Gc.set_auto_collect gc false;
+  Gc.add_static_root gc ~lo:(Segment.base data) ~hi:(Segment.limit data) ~label:"roots";
+  let objs = Array.map (fun words -> Gc.allocate gc (4 * words)) g.g_sizes in
+  List.iter (fun (s, f, d) -> Gc.set_field gc objs.(s) f (Addr.to_int objs.(d))) g.g_edges;
+  List.iteri
+    (fun i r ->
+      Segment.write_word data (Addr.add (Segment.base data) (4 * i)) (Addr.to_int objs.(r)))
+    g.g_roots;
+  (gc, objs)
+
+let prop_lazy_matches_eager =
+  QCheck.Test.make ~count:100 ~name:"lazy sweeping converges to the eager result"
+    (QCheck.make graph_gen) (fun g ->
+      let eager_gc, eager_objs = build_graph_env g in
+      Gc.collect eager_gc;
+      let lazy_gc, lazy_objs =
+        build_graph_env_with { Config.default with Config.lazy_sweep = true } g
+      in
+      Gc.collect lazy_gc;
+      ignore (Gc.drain_pending_sweeps lazy_gc);
+      Array.map (Gc.is_allocated eager_gc) eager_objs
+      = Array.map (Gc.is_allocated lazy_gc) lazy_objs
+      && Cgc.Verify.check lazy_gc = [])
+
+let prop_verify_clean =
+  QCheck.Test.make ~count:100 ~name:"internal invariants hold after collection"
+    (QCheck.make graph_gen) (fun g ->
+      let gc, _ = build_graph_env g in
+      let before = Cgc.Verify.check gc in
+      Gc.collect gc;
+      let after = Cgc.Verify.check_after_collect gc in
+      before = [] && after = [])
+
+let prop_verify_clean_under_auto_collect =
+  QCheck.Test.make ~count:40 ~name:"invariants hold under automatic collection churn"
+    QCheck.(make Gen.(list_size (int_range 10 400) (int_range 1 64)))
+    (fun sizes ->
+      let mem = Mem.create () in
+      let config = { Config.default with Config.initial_pages = 8 } in
+      let gc = Gc.create ~config mem ~base:(Addr.of_int 0x400000) ~max_bytes:(512 * 1024) () in
+      List.iter (fun s -> ignore (Gc.allocate gc s)) sizes;
+      Gc.collect gc;
+      Cgc.Verify.check_after_collect gc = [])
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_bitset_model;
+      prop_addr_align;
+      prop_addr_trailing_zeros;
+      prop_segment_roundtrip;
+      prop_segment_endian_assembly;
+      prop_rng_bound;
+      prop_size_class_rounding;
+      prop_free_list_address_ordered;
+      prop_gc_reachability_exact;
+      prop_gc_idempotent;
+      prop_gc_conservation;
+      prop_blacklist_invariant;
+      prop_explicit_model;
+      prop_gc_no_overlap;
+      prop_verify_clean;
+      prop_verify_clean_under_auto_collect;
+      prop_lazy_matches_eager;
+    ]
+
+let () = Alcotest.run "props" [ ("properties", suite) ]

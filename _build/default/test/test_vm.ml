@@ -1,0 +1,353 @@
+(* Unit tests for the address-space substrate (lib/vm). *)
+
+open Cgc_vm
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* --- Addr --- *)
+
+let test_addr_masking () =
+  check int "of_int masks to 32 bits" 0x1234 (Addr.of_int 0x100001234);
+  check int "add wraps" 0 (Addr.add (Addr.of_int 0xFFFFFFFF) 1);
+  check int "add negative" 0xFFFFFFFF (Addr.add Addr.zero (-1))
+
+let test_addr_alignment () =
+  check bool "aligned" true (Addr.is_aligned (Addr.of_int 0x1000) 0x1000);
+  check bool "unaligned" false (Addr.is_aligned (Addr.of_int 0x1004) 0x1000);
+  check int "align_down" 0x2000 (Addr.align_down (Addr.of_int 0x2FFF) 0x1000);
+  check int "align_up" 0x3000 (Addr.align_up (Addr.of_int 0x2001) 0x1000);
+  check int "align_up already aligned" 0x2000 (Addr.align_up (Addr.of_int 0x2000) 0x1000)
+
+let test_addr_trailing_zeros () =
+  check int "0x00090000 has 16 trailing zeros" 16 (Addr.trailing_zeros (Addr.of_int 0x00090000));
+  check int "odd address" 0 (Addr.trailing_zeros (Addr.of_int 0x1001));
+  check int "zero" 32 (Addr.trailing_zeros Addr.zero)
+
+let test_addr_range () =
+  check bool "lo included" true (Addr.in_range (Addr.of_int 10) ~lo:(Addr.of_int 10) ~hi:(Addr.of_int 20));
+  check bool "hi excluded" false (Addr.in_range (Addr.of_int 20) ~lo:(Addr.of_int 10) ~hi:(Addr.of_int 20))
+
+let test_addr_pp () =
+  check Alcotest.string "hex format" "0x00090000" (Addr.to_string (Addr.of_int 0x90000))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check int "same seed, same stream" (Rng.word a) (Rng.word b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.word a = Rng.word b then incr same
+  done;
+  check bool "different seeds diverge" true (!same < 4)
+
+let test_rng_word_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let w = Rng.word r in
+    check bool "word in 32-bit range" true (w >= 0 && w <= 0xFFFFFFFF)
+  done
+
+let test_rng_int_bound () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check bool "bounded" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    check bool "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_split () =
+  let parent = Rng.create 6 in
+  let child = Rng.split parent in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.word parent = Rng.word child then incr equal
+  done;
+  check bool "split streams decorrelated" true (!equal < 4)
+
+(* --- Bitset --- *)
+
+let test_bitset_basics () =
+  let s = Bitset.create 200 in
+  check bool "fresh empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 199;
+  check bool "mem 0" true (Bitset.mem s 0);
+  check bool "mem 63" true (Bitset.mem s 63);
+  check bool "mem 199" true (Bitset.mem s 199);
+  check bool "not mem 100" false (Bitset.mem s 100);
+  check int "count" 3 (Bitset.count s);
+  Bitset.remove s 63;
+  check bool "removed" false (Bitset.mem s 63);
+  check int "count after remove" 2 (Bitset.count s)
+
+let test_bitset_clear_and_copy () =
+  let s = Bitset.create 100 in
+  Bitset.add s 5;
+  let c = Bitset.copy s in
+  Bitset.clear s;
+  check bool "cleared" true (Bitset.is_empty s);
+  check bool "copy unaffected" true (Bitset.mem c 5)
+
+let test_bitset_iter_order () =
+  let s = Bitset.create 300 in
+  List.iter (Bitset.add s) [ 250; 3; 77; 150 ];
+  let seen = Bitset.fold (fun acc i -> i :: acc) [] s in
+  check (Alcotest.list int) "ascending order" [ 3; 77; 150; 250 ] (List.rev seen)
+
+let test_bitset_union () =
+  let a = Bitset.create 64 and b = Bitset.create 64 in
+  Bitset.add a 1;
+  Bitset.add b 2;
+  Bitset.union_into ~dst:a b;
+  check bool "1 in union" true (Bitset.mem a 1);
+  check bool "2 in union" true (Bitset.mem a 2);
+  check bool "b unchanged" false (Bitset.mem b 1)
+
+let test_bitset_range_queries () =
+  let s = Bitset.create 100 in
+  Bitset.add s 40;
+  check bool "exists in [30,50)" true (Bitset.exists_in_range s ~lo:30 ~hi:50);
+  check bool "none in [41,50)" false (Bitset.exists_in_range s ~lo:41 ~hi:50);
+  check (Alcotest.option int) "next_clear skips member" (Some 41) (Bitset.next_clear s 40)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index 10 out of [0,10)")
+    (fun () -> Bitset.add s 10)
+
+(* --- Segment --- *)
+
+let seg ?(endian = Endian.Little) ?(base = 0x1000) ?(size = 256) () =
+  Segment.create ~name:"t" ~kind:Segment.Static_data ~endian ~base:(Addr.of_int base) ~size
+
+let test_segment_byte_access () =
+  let s = seg () in
+  Segment.write_u8 s (Addr.of_int 0x1000) 0xAB;
+  check int "read back" 0xAB (Segment.read_u8 s (Addr.of_int 0x1000));
+  check int "rest zero" 0 (Segment.read_u8 s (Addr.of_int 0x1001))
+
+let test_segment_word_little_endian () =
+  let s = seg ~endian:Endian.Little () in
+  Segment.write_word s (Addr.of_int 0x1000) 0x12345678;
+  check int "LSB first" 0x78 (Segment.read_u8 s (Addr.of_int 0x1000));
+  check int "MSB last" 0x12 (Segment.read_u8 s (Addr.of_int 0x1003));
+  check int "round trip" 0x12345678 (Segment.read_word s (Addr.of_int 0x1000))
+
+let test_segment_word_big_endian () =
+  let s = seg ~endian:Endian.Big () in
+  Segment.write_word s (Addr.of_int 0x1000) 0x12345678;
+  check int "MSB first" 0x12 (Segment.read_u8 s (Addr.of_int 0x1000));
+  check int "round trip" 0x12345678 (Segment.read_word s (Addr.of_int 0x1000))
+
+let test_segment_unaligned_word () =
+  let s = seg ~endian:Endian.Big () in
+  (* The figure-1 phenomenon: two small integers 0x00000009, 0x0000000a
+     adjacent in big-endian memory yield 0x00090000 when read at
+     offset 2. *)
+  Segment.write_word s (Addr.of_int 0x1000) 0x00000009;
+  Segment.write_word s (Addr.of_int 0x1004) 0x0000000a;
+  check int "halfword concatenation" 0x00090000 (Segment.read_word s (Addr.of_int 0x1002))
+
+let test_segment_bounds () =
+  let s = seg () in
+  Alcotest.check_raises "word past end"
+    (Invalid_argument "Segment t: 4-byte access at 0x000010fd crosses limit") (fun () ->
+      ignore (Segment.read_word s (Addr.of_int 0x10FD)))
+
+let test_segment_iter_words () =
+  let s = seg () in
+  Segment.write_word s (Addr.of_int 0x1000) 1;
+  Segment.write_word s (Addr.of_int 0x1004) 2;
+  let collected = ref [] in
+  Segment.iter_words s ~lo:(Addr.of_int 0x1000) ~hi:(Addr.of_int 0x1008) (fun a v ->
+      collected := (a, v) :: !collected);
+  check
+    (Alcotest.list (Alcotest.pair int int))
+    "aligned words" [ (0x1000, 1); (0x1004, 2) ] (List.rev !collected)
+
+let test_segment_iter_words_unaligned () =
+  let s = seg () in
+  let count alignment =
+    let n = ref 0 in
+    Segment.iter_words s ~alignment ~lo:(Segment.base s) ~hi:(Segment.limit s) (fun _ _ -> incr n);
+    !n
+  in
+  check int "alignment 4" (256 / 4) (count 4);
+  check int "alignment 2" ((256 - 2) / 2) (count 2);
+  check int "alignment 1" (256 - 3) (count 1)
+
+let test_segment_strings () =
+  let s = seg () in
+  Segment.blit_string s (Addr.of_int 0x1010) "hello";
+  check Alcotest.string "read back" "hello" (Segment.read_string s (Addr.of_int 0x1010) ~len:5)
+
+let test_segment_fill () =
+  let s = seg () in
+  Segment.fill s (Addr.of_int 0x1000) ~len:8 '\xFF';
+  check int "filled word" 0xFFFFFFFF (Segment.read_word s (Addr.of_int 0x1000));
+  Segment.zero_range s (Addr.of_int 0x1000) ~len:4;
+  check int "zeroed" 0 (Segment.read_word s (Addr.of_int 0x1000));
+  check int "rest kept" 0xFFFFFFFF (Segment.read_word s (Addr.of_int 0x1004))
+
+(* --- Mem --- *)
+
+let test_mem_map_and_find () =
+  let m = Mem.create () in
+  let a = Mem.map m ~name:"a" ~kind:Segment.Static_data ~base:(Addr.of_int 0x1000) ~size:0x1000 in
+  let b = Mem.map m ~name:"b" ~kind:Segment.Static_data ~base:(Addr.of_int 0x5000) ~size:0x1000 in
+  let same seg = function
+    | Some found -> found == seg
+    | None -> false
+  in
+  check bool "finds a" true (same a (Mem.find m (Addr.of_int 0x1800)));
+  check bool "finds b" true (same b (Mem.find m (Addr.of_int 0x5000)));
+  check bool "gap unmapped" true (Mem.find m (Addr.of_int 0x3000) = None);
+  check bool "is_mapped" true (Mem.is_mapped m (Addr.of_int 0x1FFF));
+  check bool "limit excluded" false (Mem.is_mapped m (Addr.of_int 0x2000))
+
+let test_mem_overlap_rejected () =
+  let m = Mem.create () in
+  let _ = Mem.map m ~name:"a" ~kind:Segment.Static_data ~base:(Addr.of_int 0x1000) ~size:0x1000 in
+  let overlaps () =
+    ignore (Mem.map m ~name:"b" ~kind:Segment.Static_data ~base:(Addr.of_int 0x1800) ~size:0x1000)
+  in
+  check bool "overlap raises" true
+    (try
+       overlaps ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_mem_map_anywhere () =
+  let m = Mem.create () in
+  let _ = Mem.map m ~name:"a" ~kind:Segment.Static_data ~base:(Addr.of_int 0x1000) ~size:0x1000 in
+  let b = Mem.map_anywhere m ~name:"b" ~kind:Segment.Static_data ~size:0x800 () in
+  check bool "placed clear of a" true (Addr.to_int (Segment.base b) >= 0x2000);
+  check bool "registered" true (Mem.is_mapped m (Segment.base b))
+
+let test_mem_read_write () =
+  let m = Mem.create ~endian:Endian.Big () in
+  let _ = Mem.map m ~name:"a" ~kind:Segment.Static_data ~base:(Addr.of_int 0x1000) ~size:0x100 in
+  Mem.write_word m (Addr.of_int 0x1010) 0xDEADBEEF;
+  check int "word round trip" 0xDEADBEEF (Mem.read_word m (Addr.of_int 0x1010));
+  check int "big endian byte" 0xDE (Mem.read_u8 m (Addr.of_int 0x1010))
+
+let test_mem_unmap () =
+  let m = Mem.create () in
+  let a = Mem.map m ~name:"a" ~kind:Segment.Static_data ~base:(Addr.of_int 0x1000) ~size:0x100 in
+  Mem.unmap m a;
+  check bool "gone" false (Mem.is_mapped m (Addr.of_int 0x1000))
+
+(* --- Layout --- *)
+
+let test_layout_presets_valid () =
+  Layout.validate (Layout.sbrk_style ());
+  Layout.validate (Layout.high_heap ());
+  Layout.validate (Layout.mid_heap ())
+
+let test_layout_sbrk_low_heap () =
+  let l = Layout.sbrk_style () in
+  check bool "heap right above data" true
+    (Addr.to_int l.Layout.heap_base < 0x100000)
+
+let test_layout_apply () =
+  let mem = Mem.create () in
+  let l = Layout.high_heap () in
+  let text, data, stack = Layout.apply l mem in
+  check bool "text kind" true (Segment.kind text = Segment.Text);
+  check bool "data kind" true (Segment.kind data = Segment.Static_data);
+  check bool "stack kind" true (Segment.kind stack = Segment.Stack);
+  check int "stack ends at top" (Addr.to_int l.Layout.stack_top) (Addr.to_int (Segment.limit stack));
+  (* heap region must still be free for the collector *)
+  check bool "heap region unmapped" false (Mem.is_mapped mem l.Layout.heap_base)
+
+let test_layout_overlap_detected () =
+  let bad =
+    {
+      Layout.text_base = Addr.of_int 0x1000;
+      text_size = 0x2000;
+      data_base = Addr.of_int 0x2000;
+      data_size = 0x1000;
+      stack_top = Addr.of_int 0xF0000000;
+      stack_size = 0x1000;
+      heap_base = Addr.of_int 0x100000;
+      heap_max = 0x1000;
+    }
+  in
+  check bool "overlap raises" true
+    (try
+       Layout.validate bad;
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "masking" `Quick test_addr_masking;
+          Alcotest.test_case "alignment" `Quick test_addr_alignment;
+          Alcotest.test_case "trailing zeros" `Quick test_addr_trailing_zeros;
+          Alcotest.test_case "range" `Quick test_addr_range;
+          Alcotest.test_case "pp" `Quick test_addr_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "word range" `Quick test_rng_word_range;
+          Alcotest.test_case "int bound" `Quick test_rng_int_bound;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "split" `Quick test_rng_split;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "clear and copy" `Quick test_bitset_clear_and_copy;
+          Alcotest.test_case "iter order" `Quick test_bitset_iter_order;
+          Alcotest.test_case "union" `Quick test_bitset_union;
+          Alcotest.test_case "range queries" `Quick test_bitset_range_queries;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+        ] );
+      ( "segment",
+        [
+          Alcotest.test_case "byte access" `Quick test_segment_byte_access;
+          Alcotest.test_case "little-endian words" `Quick test_segment_word_little_endian;
+          Alcotest.test_case "big-endian words" `Quick test_segment_word_big_endian;
+          Alcotest.test_case "unaligned word (figure 1)" `Quick test_segment_unaligned_word;
+          Alcotest.test_case "bounds" `Quick test_segment_bounds;
+          Alcotest.test_case "iter words" `Quick test_segment_iter_words;
+          Alcotest.test_case "iter words unaligned" `Quick test_segment_iter_words_unaligned;
+          Alcotest.test_case "strings" `Quick test_segment_strings;
+          Alcotest.test_case "fill" `Quick test_segment_fill;
+        ] );
+      ( "mem",
+        [
+          Alcotest.test_case "map and find" `Quick test_mem_map_and_find;
+          Alcotest.test_case "overlap rejected" `Quick test_mem_overlap_rejected;
+          Alcotest.test_case "map anywhere" `Quick test_mem_map_anywhere;
+          Alcotest.test_case "read write" `Quick test_mem_read_write;
+          Alcotest.test_case "unmap" `Quick test_mem_unmap;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "presets valid" `Quick test_layout_presets_valid;
+          Alcotest.test_case "sbrk heap is low" `Quick test_layout_sbrk_low_heap;
+          Alcotest.test_case "apply" `Quick test_layout_apply;
+          Alcotest.test_case "overlap detected" `Quick test_layout_overlap_detected;
+        ] );
+    ]
