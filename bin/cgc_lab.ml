@@ -190,6 +190,74 @@ let frag_cmd =
     (Cmd.info "fragmentation" ~doc:"Free-list discipline and fragmentation (conclusions).")
     Term.(const run_frag $ seed_arg $ population $ iterations)
 
+(* --- analyze --- *)
+
+module A = Cgc_analysis
+
+let run_analyze scenario selfcheck verbose =
+  if selfcheck then begin
+    let checks, outcomes = A.Scenarios.selfcheck () in
+    if verbose then
+      List.iter
+        (fun (o : A.Scenarios.outcome) ->
+          Format.printf "=== %s ===@.%s@.%a@." o.A.Scenarios.o_name o.A.Scenarios.o_note
+            (A.Report.pp ~explain:(A.Scenarios.explain o))
+            o.A.Scenarios.o_analysis)
+        outcomes;
+    let failed = List.filter (fun (_, ok) -> not ok) checks in
+    List.iter
+      (fun (name, ok) -> Format.printf "%s %s@." (if ok then "ok  " else "FAIL") name)
+      checks;
+    Format.printf "%d/%d checks passed@.%!" (List.length checks - List.length failed)
+      (List.length checks);
+    if failed <> [] then exit 1
+  end
+  else
+    let names =
+      if scenario = "all" then A.Scenarios.names
+      else if List.mem scenario A.Scenarios.names then [ scenario ]
+      else begin
+        Format.eprintf "unknown scenario %s; try one of: %s@." scenario
+          (String.concat ", " ("all" :: A.Scenarios.names));
+        exit 1
+      end
+    in
+    List.iter
+      (fun name ->
+        match A.Scenarios.run name with
+        | None -> ()
+        | Some o ->
+            Format.printf "=== %s ===@.%s@.%a@.%!" name o.A.Scenarios.o_note
+              (A.Report.pp ~explain:(A.Scenarios.explain o))
+              o.A.Scenarios.o_analysis)
+      names
+
+let analyze_cmd =
+  let scenario =
+    let doc =
+      "Scenario to record and analyze: "
+      ^ String.concat ", " A.Scenarios.names
+      ^ ", or 'all'."
+    in
+    Arg.(value & opt string "all" & info [ "scenario"; "s" ] ~docv:"NAME" ~doc)
+  in
+  let selfcheck =
+    Arg.(
+      value & flag
+      & info [ "selfcheck" ]
+          ~doc:
+            "Run the pinned acceptance matrix over every scenario and exit nonzero on any \
+             unexpected finding, soundness violation or out-of-tolerance prediction.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print full reports too.") in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static retention analyzer: record a workload's trace, run liveness dataflow and the \
+          conservative-marker model, predict apparently-live sets at each GC point, lint for \
+          paper-keyed space-leak patterns, and cross-validate against the collector.")
+    Term.(const run_analyze $ scenario $ selfcheck $ verbose)
+
 let main_cmd =
   let doc =
     "Experiments from 'Space Efficient Conservative Garbage Collection' (Boehm, PLDI 1993)."
@@ -207,6 +275,7 @@ let main_cmd =
       dual_cmd;
       threads_cmd;
       frag_cmd;
+      analyze_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

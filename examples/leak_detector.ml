@@ -17,10 +17,14 @@ let run ~clear_links =
   let q = Builder.queue_create h.Harness.machine in
   Harness.set_root h 0 (Addr.to_int (Builder.queue_header q));
   let window = 4 in
+  let watched = ref [] in
   for i = 1 to 600 do
     let node = Builder.queue_push q i in
     (* watch every 50th element *)
-    if i mod 50 = 0 then Cgc.Gc.add_finalizer gc node ~token:(Printf.sprintf "element %d" i);
+    if i mod 50 = 0 then begin
+      Cgc.Gc.add_finalizer gc node ~token:(Printf.sprintf "element %d" i);
+      watched := (i, node) :: !watched
+    end;
     (* a stale local integer happens to hold node 75's address *)
     if i = 75 then Harness.set_root h 1 (Addr.to_int node);
     while Builder.queue_length q > window do
@@ -33,6 +37,21 @@ let run ~clear_links =
     (if clear_links then "links cleared on dequeue" else "links left in place")
     (List.length reclaimed);
   List.iter (fun (_, tok) -> Format.printf "    reclaimed %s@." tok) reclaimed;
+  (* the survivors are the leak; ask the collector for the chain of
+     words that keeps each one alive *)
+  let shown = ref false in
+  List.iter
+    (fun (i, node) ->
+      if Cgc.Gc.is_allocated gc node then
+        match Cgc.Inspect.why_live gc node with
+        | Some chain when not !shown ->
+            shown := true;
+            Format.printf "    element %d still held:@.      %a@." i Cgc.Inspect.pp_chain chain
+        | Some (first :: _ as chain) ->
+            Format.printf "    element %d still held: %d-step chain from %a@." i
+              (List.length chain) Cgc.Inspect.pp_step first
+        | Some [] | None -> Format.printf "    element %d still allocated@." i)
+    (List.rev !watched);
   Format.printf "    live bytes after GC: %d@.@." (Cgc.Gc.live_bytes gc)
 
 let () =

@@ -1,0 +1,40 @@
+(** The analyzer pipeline: liveness dataflow, conservative-marker
+    model, lint rules — plus cross-validation of the prediction
+    against the collector measurements embedded in the trace. *)
+
+module ISet = Liveness.ISet
+
+type t = {
+  program : Ir.program;
+  liveness : Liveness.t;
+  retention : Apparent.result;
+  findings : Lint.finding list;
+}
+
+val run : Ir.program -> t
+
+type validation = {
+  sound : bool;
+  n_gc_points : int;
+  n_measured : int;
+  worst_abs_err : int;
+  worst_rel_err : float;
+  within_tolerance : bool;
+}
+
+val validate : t -> validation
+(** [sound] checks the static over-approximation invariant (precise
+    live set contained in the apparent one at every GC point);
+    [within_tolerance] checks the apparent prediction against the
+    collector's own post-sweep object counts, within max(2 objects,
+    10%). *)
+
+val has_finding : t -> string -> bool
+(** Whether a lint rule (by id, e.g. ["R2"]) fired. *)
+
+val max_apparent : t -> int
+(** Largest predicted apparent-live object count over all GC points. *)
+
+val max_excess : t -> int
+(** Largest predicted (apparent - precise) object count — the
+    retention gap the lint rules try to explain. *)

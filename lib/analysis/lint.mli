@@ -1,0 +1,28 @@
+(** Lint rules over an analysis result, each citing the observation in
+    Boehm (PLDI 1993) it operationalizes:
+
+    - [R1] embedded-link structures (figs 3-4): same-shape object
+      groups that link through themselves, so one false reference
+      retains a large blast radius.
+    - [R2] dequeue without link clearing (s.4): dead objects whose
+      uncleared pointer fields still reach live data.
+    - [R3] pointer-free data allocated scanned (s.3): should be atomic.
+    - [R4] large scanned objects while interior pointers are honored
+      (s.3 observation 7).
+    - [R5] careless stack hygiene (s.3.1): retention attributable to
+      stale slots, dead locals, padding, spill residue, dead
+      registers. *)
+
+type severity = Warning | Advice
+
+type finding = {
+  rule : string;
+  severity : severity;
+  title : string;
+  paper_ref : string;
+  detail : string;
+  example_obj : int option;
+}
+
+val run : Ir.program -> Apparent.result -> finding list
+val pp_finding : Format.formatter -> finding -> unit

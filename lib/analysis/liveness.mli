@@ -1,0 +1,28 @@
+(** Backward liveness dataflow over registers, stack words, global
+    words, and (at the trace level) heap objects.
+
+    The result answers, for every GC point of the program: which
+    locations hold values the mutator will still read, and which
+    objects it will still access.  Everything else a conservative
+    marker retains from those locations is spurious. *)
+
+module ISet : Set.S with type elt = int
+
+type at_gc = {
+  live_regs : ISet.t;
+  live_stack : ISet.t;
+  live_globals : ISet.t;
+  used_objects : ISet.t;
+}
+
+type t = {
+  per_gc : at_gc array;
+  sp_before : int array;
+}
+
+val analyze : Ir.program -> t
+
+val at_gc : t -> int -> at_gc
+(** By GC-point ordinal in program order. *)
+
+val n_gc_points : t -> int

@@ -1,0 +1,59 @@
+(* Human-readable report: per-GC-point retention table, spurious-root
+   breakdown, lint findings, validation verdict.  [explain] lets the
+   caller attach dynamic provenance (an [Inspect.why_live] chain from
+   the live collector) to any finding's example object. *)
+
+module ISet = Liveness.ISet
+
+let pp_table ppf (t : Analysis.t) =
+  Fmt.pf ppf "@[<v>%-5s %-10s %-10s %-10s %-8s %s@,"
+    "gc#" "apparent" "precise" "measured" "excess" "spurious roots";
+  List.iter
+    (fun (s : Apparent.gc_snapshot) ->
+      let app = ISet.cardinal s.apparent and pre = ISet.cardinal s.precise in
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun (r : Apparent.spurious_root) ->
+          Hashtbl.replace counts r.sr_class
+            (1 + Option.value (Hashtbl.find_opt counts r.sr_class) ~default:0))
+        s.spurious;
+      let breakdown =
+        Hashtbl.fold
+          (fun cls n acc -> Printf.sprintf "%s:%d" (Apparent.class_name cls) n :: acc)
+          counts []
+        |> List.sort compare |> String.concat " "
+      in
+      Fmt.pf ppf "%-5d %-10d %-10d %-10s %-8d %s@," s.ordinal app pre
+        (match s.measured with
+        | Some m -> string_of_int m.Ir.m_live_objects
+        | None -> "-")
+        (app - pre) breakdown)
+    t.retention.Apparent.snapshots;
+  Fmt.pf ppf "@]"
+
+let pp_validation ppf (v : Analysis.validation) =
+  Fmt.pf ppf "@[<v>soundness (precise \xe2\x8a\x86 apparent): %s@,"
+    (if v.sound then "ok" else "VIOLATED");
+  if v.n_measured > 0 then
+    Fmt.pf ppf "cross-validation vs collector: %s (%d/%d points measured, worst err %d objs / %.1f%%)@,"
+      (if v.within_tolerance then "ok" else "OUT OF TOLERANCE")
+      v.n_measured v.n_gc_points v.worst_abs_err (100. *. v.worst_rel_err)
+  else Fmt.pf ppf "cross-validation vs collector: no measured GC points@,";
+  Fmt.pf ppf "@]"
+
+let pp ?explain ppf (t : Analysis.t) =
+  Fmt.pf ppf "@[<v>== retention per GC point (%d objects allocated) ==@,%a@,"
+    t.retention.Apparent.n_objects pp_table t;
+  Fmt.pf ppf "== validation ==@,%a@," pp_validation (Analysis.validate t);
+  (match t.findings with
+  | [] -> Fmt.pf ppf "== findings ==@,none@,"
+  | fs ->
+      Fmt.pf ppf "== findings ==@,";
+      List.iter
+        (fun (f : Lint.finding) ->
+          Fmt.pf ppf "%a@," Lint.pp_finding f;
+          match (f.Lint.example_obj, explain) with
+          | Some id, Some ex -> ex ppf id
+          | _ -> ())
+        fs);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,16 @@
+(** Report printer for analysis results. *)
+
+val pp_table : Format.formatter -> Analysis.t -> unit
+(** Per-GC-point table: apparent vs precise vs measured object counts
+    and a breakdown of spurious roots by class. *)
+
+val pp_validation : Format.formatter -> Analysis.validation -> unit
+
+val pp :
+  ?explain:(Format.formatter -> int -> unit) ->
+  Format.formatter ->
+  Analysis.t ->
+  unit
+(** Full report.  [explain] is called with each finding's example
+    object id, letting the caller print a dynamic provenance chain
+    (e.g. {!Cgc.Inspect.why_live}) from the live collector. *)

@@ -1,0 +1,136 @@
+(* Bundled workload scenarios with recorders attached — the
+   cross-validation suite.  Each scenario runs one of the repo's
+   mutator programs with a trace recorder hooked in through its
+   [?prepare] hook, analyzes the recorded IR, and keeps the live
+   collector handle around so findings can be explained with dynamic
+   provenance chains. *)
+
+module W = Cgc_workloads
+module Machine = Cgc_mutator.Machine
+
+type outcome = {
+  o_name : string;
+  o_analysis : Analysis.t;
+  o_recorder : Recorder.t;
+  o_gc : Cgc.Gc.t;
+  o_note : string;  (** the workload's own result, pretty-printed *)
+}
+
+let finish name rec_ gc note =
+  let program = Recorder.finish rec_ in
+  { o_name = name; o_analysis = Analysis.run program; o_recorder = rec_; o_gc = gc; o_note = note }
+
+let with_harness name runner =
+  let st = ref None in
+  let prepare (h : W.Harness.t) =
+    st := Some (Recorder.attach h.W.Harness.machine ~globals:h.W.Harness.data, h.W.Harness.gc)
+  in
+  let note = runner ~prepare in
+  match !st with
+  | Some (rec_, gc) -> finish name rec_ gc note
+  | None -> invalid_arg "scenario runner never called prepare"
+
+let with_platform name platform =
+  let st = ref None in
+  let prepare (env : W.Platform.env) =
+    st := Some (Recorder.attach env.W.Platform.machine ~globals:env.W.Platform.data, env.W.Platform.gc)
+  in
+  let result = W.Program_t.run ~prepare platform in
+  match !st with
+  | Some (rec_, gc) -> finish name rec_ gc (Fmt.str "%a" W.Program_t.pp_result result)
+  | None -> invalid_arg "program_t never called prepare"
+
+let list_reverse name mode =
+  with_harness name (fun ~prepare ->
+      let r = W.List_reverse.run ~prepare mode ~elements:60 ~iterations:8 in
+      Fmt.str "%a" W.List_reverse.pp r)
+
+let grid name repr =
+  with_harness name (fun ~prepare ->
+      let r = W.Grid.run_one ~prepare repr ~rows:12 ~cols:12 ~target:30 in
+      Fmt.str "grid %dx%d: retained %d/%d cells (%.0f%%)" r.W.Grid.rows r.W.Grid.cols
+        r.W.Grid.retained_cells r.W.Grid.total_cells (100. *. r.W.Grid.retained_fraction))
+
+let queue name ~clear_links =
+  with_harness name (fun ~prepare ->
+      let r = W.Queue_lazy.run ~prepare ~clear_links 160 in
+      Fmt.str "%a" W.Queue_lazy.pp r)
+
+let program_t name machine_config =
+  with_platform name (W.Platform.clean ~machine_config ())
+
+let table =
+  [
+    ("list-reverse-careless", fun () -> list_reverse "list-reverse-careless" W.List_reverse.Careless);
+    ("list-reverse-cleared", fun () -> list_reverse "list-reverse-cleared" W.List_reverse.Cleared);
+    ("grid-embedded", fun () -> grid "grid-embedded" W.Grid.Embedded);
+    ("grid-separate", fun () -> grid "grid-separate" W.Grid.Separate);
+    ("queue-no-clear", fun () -> queue "queue-no-clear" ~clear_links:false);
+    ("queue-clear", fun () -> queue "queue-clear" ~clear_links:true);
+    ("program-t-careless", fun () -> program_t "program-t-careless" Machine.careless_config);
+    ("program-t-hygienic", fun () -> program_t "program-t-hygienic" Machine.hygienic_config);
+  ]
+
+let names = List.map fst table
+let run name = Option.map (fun f -> f ()) (List.assoc_opt name table)
+let run_all () = List.map (fun (_, f) -> f ()) table
+
+(* Dynamic provenance for a finding's example object: ask the live
+   collector why it is (still) retained. *)
+(* Chains through long linked structures (a queue's spine, a list) can
+   run to hundreds of steps; keep the head, which names the root, and
+   summarize the rest. *)
+let max_chain_steps = 8
+
+let pp_chain ppf chain =
+  let n = List.length chain in
+  if n <= max_chain_steps then Cgc.Inspect.pp_chain ppf chain
+  else begin
+    Fmt.pf ppf "@[<v>";
+    List.iteri
+      (fun i step ->
+        if i < max_chain_steps then
+          Fmt.pf ppf "%s%a@," (String.make (2 * i) ' ') Cgc.Inspect.pp_step step)
+      chain;
+    Fmt.pf ppf "%s... %d more steps" (String.make (2 * max_chain_steps) ' ') (n - max_chain_steps);
+    Fmt.pf ppf "@]"
+  end
+
+let explain outcome ppf id =
+  match Recorder.base_of_obj outcome.o_recorder id with
+  | None -> ()
+  | Some base ->
+      if Cgc.Gc.is_allocated outcome.o_gc base then (
+        match Cgc.Inspect.why_live outcome.o_gc base with
+        | Some chain -> Fmt.pf ppf "  e.g. object #%d: %a@," id pp_chain chain
+        | None -> Fmt.pf ppf "  e.g. object #%d at %a (allocated, no root chain found)@," id
+                    Cgc_vm.Addr.pp base)
+      else Fmt.pf ppf "  e.g. object #%d (since reclaimed)@," id
+
+(* The acceptance matrix: which rules must (and must not) fire on which
+   scenario, plus soundness and measurement tolerance everywhere.
+   Pinned empirically; a change that shifts one of these is a behaviour
+   change worth noticing. *)
+let selfcheck () =
+  let outcomes = run_all () in
+  let get n = List.find (fun o -> o.o_name = n) outcomes in
+  let checks = ref [] in
+  let check name ok = checks := (name, ok) :: !checks in
+  List.iter
+    (fun o ->
+      let v = Analysis.validate o.o_analysis in
+      check (o.o_name ^ ": sound") v.Analysis.sound;
+      check (o.o_name ^ ": within tolerance of measured") v.Analysis.within_tolerance)
+    outcomes;
+  let has n rule = Analysis.has_finding (get n).o_analysis rule in
+  check "grid-embedded flags R1 (embedded links)" (has "grid-embedded" "R1");
+  check "grid-separate does not flag R1" (not (has "grid-separate" "R1"));
+  check "queue-no-clear flags R2 (uncleared links)" (has "queue-no-clear" "R2");
+  check "queue-clear does not flag R2" (not (has "queue-clear" "R2"));
+  check "list-reverse-careless flags R5 (stack hygiene)" (has "list-reverse-careless" "R5");
+  check "list-reverse-cleared does not flag R5" (not (has "list-reverse-cleared" "R5"));
+  check "program-t-careless flags R5" (has "program-t-careless" "R5");
+  check "careless retains more than hygienic (model agrees)"
+    (Analysis.max_excess (get "program-t-careless").o_analysis
+    >= Analysis.max_excess (get "program-t-hygienic").o_analysis);
+  (List.rev !checks, outcomes)

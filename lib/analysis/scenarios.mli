@@ -1,0 +1,27 @@
+(** Recorded-run scenarios: the repo's workloads with a trace recorder
+    attached, analyzed and cross-validated against the live collector.
+
+    Scenario names: [list-reverse-careless], [list-reverse-cleared],
+    [grid-embedded], [grid-separate], [queue-no-clear], [queue-clear],
+    [program-t-careless], [program-t-hygienic]. *)
+
+type outcome = {
+  o_name : string;
+  o_analysis : Analysis.t;
+  o_recorder : Recorder.t;
+  o_gc : Cgc.Gc.t;
+  o_note : string;
+}
+
+val names : string list
+val run : string -> outcome option
+val run_all : unit -> outcome list
+
+val explain : outcome -> Format.formatter -> int -> unit
+(** Report hook: prints the live collector's {!Cgc.Inspect.why_live}
+    chain for a finding's example object, if it is still allocated. *)
+
+val selfcheck : unit -> (string * bool) list * outcome list
+(** The pinned acceptance matrix: per-scenario soundness and
+    measurement tolerance, plus which lint rules must and must not
+    fire where. *)

@@ -18,14 +18,14 @@ let without_auto_collect m f =
 
 let cons m ~car ~cdr =
   let c = Machine.allocate m (2 * word) in
-  Cgc.Gc.set_field (gcm m) c 0 car;
-  Cgc.Gc.set_field (gcm m) c 1 cdr;
+  Machine.write_field m c 0 car;
+  Machine.write_field m c 1 cdr;
   c
 
-let car m c = Cgc.Gc.get_field (gcm m) c 0
-let cdr m c = Cgc.Gc.get_field (gcm m) c 1
-let set_car m c v = Cgc.Gc.set_field (gcm m) c 0 v
-let set_cdr m c v = Cgc.Gc.set_field (gcm m) c 1 v
+let car m c = Machine.read_field m c 0
+let cdr m c = Machine.read_field m c 1
+let set_car m c v = Machine.write_field m c 0 v
+let set_cdr m c v = Machine.write_field m c 1 v
 
 let list_of m values =
   (* Build back to front, keeping the partial list in register 1 so it
@@ -52,42 +52,40 @@ let list_length m l =
 let alloc_cycle ?finalizer ?(cell_bytes = 4) m ~n =
   if n < 1 then invalid_arg "Builder.alloc_cycle: need at least one cell";
   if cell_bytes < 4 then invalid_arg "Builder.alloc_cycle: cells hold at least a pointer";
-  let gc = gcm m in
   let saved1 = Machine.get_register m 1 and saved2 = Machine.get_register m 2 in
   let head = Machine.allocate ?finalizer m cell_bytes in
   Machine.set_register m 1 (Addr.to_int head);
   Machine.set_register m 2 (Addr.to_int head);
   let magic = 0xCAFE0000 in
-  if cell_bytes >= 8 then Cgc.Gc.set_field gc head 1 magic;
+  if cell_bytes >= 8 then Machine.write_field m head 1 magic;
   for _ = 2 to n do
     let cell = Machine.allocate m cell_bytes in
-    if cell_bytes >= 8 then Cgc.Gc.set_field gc cell 1 magic;
+    if cell_bytes >= 8 then Machine.write_field m cell 1 magic;
     (* prev.next <- cell *)
-    Cgc.Gc.set_field gc (Addr.of_int (Machine.get_register m 2)) 0 (Addr.to_int cell);
+    Machine.write_field m (Addr.of_int (Machine.get_register m 2)) 0 (Addr.to_int cell);
     Machine.set_register m 2 (Addr.to_int cell)
   done;
   (* close the cycle: tail.next <- head *)
-  Cgc.Gc.set_field gc (Addr.of_int (Machine.get_register m 2)) 0 (Addr.to_int head);
+  Machine.write_field m (Addr.of_int (Machine.get_register m 2)) 0 (Addr.to_int head);
   Machine.set_register m 1 saved1;
   Machine.set_register m 2 saved2;
   head
 
 let cycle_cells m start =
-  let gc = gcm m in
   let rec go acc c =
-    let next = Addr.of_int (Cgc.Gc.get_field gc c 0) in
+    let next = Addr.of_int (Machine.read_field m c 0) in
     if Addr.equal next start then List.rev (c :: acc) else go (c :: acc) next
   in
   go [] start
 
 let atomic_array m values =
   let a = Machine.allocate ~pointer_free:true m (max 1 (Array.length values) * word) in
-  Array.iteri (fun i v -> Cgc.Gc.set_field (gcm m) a i v) values;
+  Array.iteri (fun i v -> Machine.write_field m a i v) values;
   a
 
 let scanned_array m values =
   let a = Machine.allocate m (max 1 (Array.length values) * word) in
-  Array.iteri (fun i v -> Cgc.Gc.set_field (gcm m) a i v) values;
+  Array.iteri (fun i v -> Machine.write_field m a i v) values;
   a
 
 (* --- grids --- *)
@@ -104,28 +102,27 @@ type grid = {
 let grid_embedded m ~rows ~cols =
   if rows < 1 || cols < 1 then invalid_arg "Builder.grid_embedded: empty grid";
   without_auto_collect m (fun () ->
-      let gc = gcm m in
       let vertices = Array.make (rows * cols) Addr.zero in
       for r = 0 to rows - 1 do
         for c = 0 to cols - 1 do
           let v = Machine.allocate m (4 * word) in
-          Cgc.Gc.set_field gc v 2 ((r lsl 16) lor c);
+          Machine.write_field m v 2 ((r lsl 16) lor c);
           vertices.((r * cols) + c) <- v
         done
       done;
       for r = 0 to rows - 1 do
         for c = 0 to cols - 1 do
           let v = vertices.((r * cols) + c) in
-          if c + 1 < cols then Cgc.Gc.set_field gc v 0 (Addr.to_int vertices.((r * cols) + c + 1));
-          if r + 1 < rows then Cgc.Gc.set_field gc v 1 (Addr.to_int vertices.(((r + 1) * cols) + c))
+          if c + 1 < cols then Machine.write_field m v 0 (Addr.to_int vertices.((r * cols) + c + 1));
+          if r + 1 < rows then Machine.write_field m v 1 (Addr.to_int vertices.(((r + 1) * cols) + c))
         done
       done;
       let headers = Machine.allocate m ((rows + cols) * word) in
       for r = 0 to rows - 1 do
-        Cgc.Gc.set_field gc headers r (Addr.to_int vertices.(r * cols))
+        Machine.write_field m headers r (Addr.to_int vertices.(r * cols))
       done;
       for c = 0 to cols - 1 do
-        Cgc.Gc.set_field gc headers (rows + c) (Addr.to_int vertices.(c))
+        Machine.write_field m headers (rows + c) (Addr.to_int vertices.(c))
       done;
       { rows; cols; vertices; headers; spine = [||] })
 
@@ -135,12 +132,11 @@ let grid_embedded m ~rows ~cols =
 let grid_separate m ~rows ~cols =
   if rows < 1 || cols < 1 then invalid_arg "Builder.grid_separate: empty grid";
   without_auto_collect m (fun () ->
-      let gc = gcm m in
       let vertices = Array.make (rows * cols) Addr.zero in
       for r = 0 to rows - 1 do
         for c = 0 to cols - 1 do
           let v = Machine.allocate m (2 * word) in
-          Cgc.Gc.set_field gc v 0 ((r lsl 16) lor c);
+          Machine.write_field m v 0 ((r lsl 16) lor c);
           vertices.((r * cols) + c) <- v
         done
       done;
@@ -159,11 +155,11 @@ let grid_separate m ~rows ~cols =
       let headers = Machine.allocate m ((rows + cols) * word) in
       for r = 0 to rows - 1 do
         let cells = List.init cols (fun c -> vertices.((r * cols) + c)) in
-        Cgc.Gc.set_field gc headers r (chain cells)
+        Machine.write_field m headers r (chain cells)
       done;
       for c = 0 to cols - 1 do
         let cells = List.init rows (fun r -> vertices.((r * cols) + c)) in
-        Cgc.Gc.set_field gc headers (rows + c) (chain cells)
+        Machine.write_field m headers (rows + c) (chain cells)
       done;
       { rows; cols; vertices; headers; spine = Array.of_list !spine })
 
@@ -183,29 +179,27 @@ let queue_header q = q.q_header
 
 let queue_push q v =
   let m = q.q_machine in
-  let gc = gcm m in
   (* node = [next; value] *)
   let node = Machine.allocate m (2 * word) in
-  Cgc.Gc.set_field gc node 1 v;
-  let tail = Cgc.Gc.get_field gc q.q_header 1 in
-  if tail = nil then Cgc.Gc.set_field gc q.q_header 0 (Addr.to_int node)
-  else Cgc.Gc.set_field gc (Addr.of_int tail) 0 (Addr.to_int node);
-  Cgc.Gc.set_field gc q.q_header 1 (Addr.to_int node);
+  Machine.write_field m node 1 v;
+  let tail = Machine.read_field m q.q_header 1 in
+  if tail = nil then Machine.write_field m q.q_header 0 (Addr.to_int node)
+  else Machine.write_field m (Addr.of_int tail) 0 (Addr.to_int node);
+  Machine.write_field m q.q_header 1 (Addr.to_int node);
   q.q_len <- q.q_len + 1;
   node
 
 let queue_pop ?(clear_link = false) q =
   let m = q.q_machine in
-  let gc = gcm m in
-  let head = Cgc.Gc.get_field gc q.q_header 0 in
+  let head = Machine.read_field m q.q_header 0 in
   if head = nil then None
   else begin
     let node = Addr.of_int head in
-    let next = Cgc.Gc.get_field gc node 0 in
-    let v = Cgc.Gc.get_field gc node 1 in
-    Cgc.Gc.set_field gc q.q_header 0 next;
-    if next = nil then Cgc.Gc.set_field gc q.q_header 1 nil;
-    if clear_link then Cgc.Gc.set_field gc node 0 nil;
+    let next = Machine.read_field m node 0 in
+    let v = Machine.read_field m node 1 in
+    Machine.write_field m q.q_header 0 next;
+    if next = nil then Machine.write_field m q.q_header 1 nil;
+    if clear_link then Machine.write_field m node 0 nil;
     q.q_len <- q.q_len - 1;
     Some v
   end
@@ -213,35 +207,36 @@ let queue_pop ?(clear_link = false) q =
 let queue_length q = q.q_len
 
 let queue_nodes q =
-  let gc = gcm q.q_machine in
-  let rec go acc a = if a = nil then List.rev acc else go (Addr.of_int a :: acc) (Cgc.Gc.get_field gc (Addr.of_int a) 0) in
-  go [] (Cgc.Gc.get_field gc q.q_header 0)
+  let m = q.q_machine in
+  let rec go acc a =
+    if a = nil then List.rev acc
+    else go (Addr.of_int a :: acc) (Machine.read_field m (Addr.of_int a) 0)
+  in
+  go [] (Machine.read_field m q.q_header 0)
 
 (* --- trees --- *)
 
 let tree_build m ~depth =
   if depth < 0 then invalid_arg "Builder.tree_build: negative depth";
   without_auto_collect m (fun () ->
-      let gc = gcm m in
       let rec build d =
         let node = Machine.allocate m (3 * word) in
-        Cgc.Gc.set_field gc node 2 d;
+        Machine.write_field m node 2 d;
         if d > 0 then begin
-          Cgc.Gc.set_field gc node 0 (Addr.to_int (build (d - 1)));
-          Cgc.Gc.set_field gc node 1 (Addr.to_int (build (d - 1)))
+          Machine.write_field m node 0 (Addr.to_int (build (d - 1)));
+          Machine.write_field m node 1 (Addr.to_int (build (d - 1)))
         end;
         node
       in
       build depth)
 
 let tree_nodes m root =
-  let gc = gcm m in
   let rec go acc node =
     if node = nil then acc
     else begin
       let acc = Addr.of_int node :: acc in
-      let acc = go acc (Cgc.Gc.get_field gc (Addr.of_int node) 0) in
-      go acc (Cgc.Gc.get_field gc (Addr.of_int node) 1)
+      let acc = go acc (Machine.read_field m (Addr.of_int node) 0) in
+      go acc (Machine.read_field m (Addr.of_int node) 1)
     end
   in
   List.rev (go [] (Addr.to_int root))

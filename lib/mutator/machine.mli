@@ -55,6 +55,47 @@ type t
 
 type frame
 
+(** {1 Trace events}
+
+    Every observable state change flows past an attached tracer (see
+    {!set_tracer}), so a recorder can rebuild the whole mutator program
+    — allocations, register and stack traffic, frame lifetimes, heap
+    data-flow — as a first-class IR.  Collections have no call path
+    through the machine (they fire inside [Cgc.Gc.allocate] or via
+    direct [Cgc.Gc.collect] calls), so the machine polls the
+    collector's cycle counter before every emission and synthesizes an
+    [E_gc] event carrying the measured post-sweep statistics. *)
+type event =
+  | E_alloc of { base : Addr.t; bytes : int; pointer_free : bool }
+      (** [bytes] is the size-class-rounded extent the marker scans. *)
+  | E_reg_write of { reg : int; value : int }
+  | E_reg_read of { reg : int }
+  | E_frame_push of { slots : int; padding : int; cleared : bool }
+  | E_frame_pop of { slots : int; padding : int; cleared : bool }
+  | E_local_write of { addr : Addr.t; value : int }
+  | E_local_read of { addr : Addr.t }
+  | E_spill_write of { addr : Addr.t; value : int }
+      (** Allocator scratch below the stack pointer. *)
+  | E_stack_clear of { lo : Addr.t; hi : Addr.t }
+  | E_heap_write of { obj : Addr.t; field : int; value : int }
+  | E_heap_read of { obj : Addr.t; field : int }
+  | E_root_write of { addr : Addr.t; value : int }
+  | E_root_read of { addr : Addr.t }
+  | E_gc of { collections : int; live_objects : int; live_bytes : int }
+  | E_park of { words : int }
+  | E_unpark
+  | E_clear_registers
+
+val set_tracer : t -> (event -> unit) option -> unit
+(** Attach (or detach) the single tracer.  Tracing is off by default
+    and costs nothing when off. *)
+
+val poll_gc : t -> unit
+(** Force the collection-counter poll now (normally implicit in every
+    traced operation).  Recorders call this once more when finishing,
+    so a final [Cgc.Gc.collect] that is followed by no further machine
+    activity still yields its [E_gc] event. *)
+
 val create : ?config:config -> ?seed:int -> Mem.t -> stack:Segment.t -> gc:Cgc.Gc.t -> t
 (** Attach to an existing stack segment and collector.  Registers the
     machine's registers and live stack extent as GC roots. *)
@@ -64,6 +105,9 @@ val config : t -> config
 val stack_pointer : t -> Addr.t
 val stack_base : t -> Addr.t
 (** High end of the stack (the stack grows down from here). *)
+
+val stack_limits : t -> Addr.t * Addr.t
+(** [(lowest, highest)] addresses of the whole stack segment. *)
 
 val low_water : t -> Addr.t
 (** Deepest stack pointer observed so far. *)
@@ -114,6 +158,21 @@ val allocate : ?pointer_free:bool -> ?finalizer:string -> t -> int -> Addr.t
     hooks fire, and the configured stack clearing runs. *)
 
 val allocation_count : t -> int
+
+(** {1 Heap and global access}
+
+    Loads and stores as the compiled mutator would issue them.  These
+    delegate to [Cgc.Gc.get_field]/[set_field] (resp. raw segment
+    access) but flow past the tracer, so recorded programs carry the
+    mutator's data-flow and not just its allocations. *)
+
+val read_field : t -> Addr.t -> int -> int
+val write_field : t -> Addr.t -> int -> int -> unit
+
+val read_root_word : t -> Segment.t -> Addr.t -> int
+(** Read a global root slot (a word in a registered static segment). *)
+
+val write_root_word : t -> Segment.t -> Addr.t -> int -> unit
 
 val clear_dead_stack : t -> ?words:int -> unit -> unit
 (** Explicitly clear up to [words] (default: all) of the dead region

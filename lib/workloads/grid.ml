@@ -24,8 +24,9 @@ let build h representation ~rows ~cols =
 let cells_of_grid (g : Builder.grid) =
   Array.to_list g.Builder.vertices @ Array.to_list g.Builder.spine
 
-let run_one ?(seed = 7) representation ~rows ~cols ~target =
+let run_one ?(seed = 7) ?prepare representation ~rows ~cols ~target =
   let h = Harness.create ~seed () in
+  (match prepare with None -> () | Some f -> f h);
   let g = build h representation ~rows ~cols in
   (* root it, verify it is all live, then drop it; builder leftovers in
      the machine registers must not count as roots here *)

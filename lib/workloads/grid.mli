@@ -24,10 +24,18 @@ type result = {
   injected_at : Addr.t;
 }
 
-val run_one : ?seed:int -> representation -> rows:int -> cols:int -> target:int -> result
+val run_one :
+  ?seed:int ->
+  ?prepare:(Harness.t -> unit) ->
+  representation ->
+  rows:int ->
+  cols:int ->
+  target:int ->
+  result
 (** Build the grid, drop the real roots, inject one false reference to
     structure cell number [target] (an index into the cells, vertices
-    first), collect, and count what survived. *)
+    first), collect, and count what survived.  [prepare] runs on the
+    fresh harness before any allocation (trace-recorder hook). *)
 
 type summary = {
   s_representation : representation;

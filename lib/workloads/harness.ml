@@ -29,8 +29,8 @@ let create ?(seed = 7) ?(endian = Endian.Little) ?config ?machine_config ?(heap_
   { mem; data; stack; gc; machine }
 
 let root_slot t i = Addr.add (Segment.base t.data) (4 * i)
-let set_root t i v = Segment.write_word t.data (root_slot t i) v
-let get_root t i = Segment.read_word t.data (root_slot t i)
+let set_root t i v = Cgc_mutator.Machine.write_root_word t.machine t.data (root_slot t i) v
+let get_root t i = Cgc_mutator.Machine.read_root_word t.machine t.data (root_slot t i)
 let clear_roots_area t = Segment.zero_range t.data (Segment.base t.data) ~len:(Segment.size t.data)
 
 let count_allocated t bases =

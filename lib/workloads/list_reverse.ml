@@ -94,9 +94,10 @@ let loop_reverse h poll l =
       done;
       Addr.of_int (Machine.get_local frame 1))
 
-let run ?(seed = 7) mode ~elements ~iterations =
+let run ?(seed = 7) ?prepare mode ~elements ~iterations =
   if elements < 1 || iterations < 1 then invalid_arg "List_reverse.run: empty workload";
   let h = Harness.create ~seed ~machine_config:(machine_config_of mode) ~heap_kb:16384 () in
+  (match prepare with None -> () | Some f -> f h);
   let gc = h.Harness.gc in
   let stats = Cgc.Gc.stats gc in
   let max_live = ref 0 in

@@ -31,7 +31,10 @@ type result = {
   collections : int;
 }
 
-val run : ?seed:int -> mode -> elements:int -> iterations:int -> result
+val run :
+  ?seed:int -> ?prepare:(Harness.t -> unit) -> mode -> elements:int -> iterations:int -> result
+(** [prepare] runs on the fresh harness before any allocation — the
+    hook a trace recorder attaches through. *)
 
 val mode_name : mode -> string
 val pp : Format.formatter -> result -> unit

@@ -184,6 +184,25 @@ let pcr =
     gc_tweak = Fun.id;
   }
 
+(* A pollution-free, noise-free environment: every retained byte is
+   attributable to the mutator program itself, which is what a trace
+   analyzer needs to cross-validate its predictions exactly. *)
+let clean ?(machine_config = Machine.hygienic_config) () =
+  {
+    name = "clean";
+    description = "deterministic pollution-free environment for trace analysis";
+    endian = Endian.Little;
+    layout = Layout.mid_heap ~data_size:(kb 16) ();
+    scan_alignment = 4;
+    pollution = no_pollution;
+    machine_config;
+    lists = 12;
+    nodes_per_list = 40;
+    cell_bytes = 8;
+    other_live_bytes = 0;
+    gc_tweak = Fun.id;
+  }
+
 let all =
   [
     sparc_static ~optimized:false;

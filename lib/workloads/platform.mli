@@ -81,6 +81,13 @@ val sgi_static : optimized:bool -> t
 val os2_static : optimized:bool -> t
 val pcr : t
 
+val clean : ?machine_config:Machine.config -> unit -> t
+(** Not a table-1 row: a deterministic, pollution- and noise-free
+    environment (small lists, little-endian, word-aligned scanning) in
+    which every retained byte is attributable to the mutator program
+    itself.  Trace-based analysis cross-validates against runs on this
+    platform.  Default machine configuration: {!Machine.hygienic_config}. *)
+
 val all : t list
 (** The nine rows of table 1 (PCR is a single "mixed" row). *)
 

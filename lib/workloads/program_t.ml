@@ -23,7 +23,9 @@ let token i = "list-" ^ string_of_int i
 (* The global array a[N] lives in the platform's static data segment,
    exactly like the C global of appendix A. *)
 let a_slot env i = Addr.add env.Platform.globals_base (4 * i)
-let set_a env i v = Segment.write_word env.Platform.data (a_slot env i) v
+
+let set_a env i v =
+  Machine.write_root_word env.Platform.machine env.Platform.data (a_slot env i) v
 
 (* PCR rows: the surrounding Cedar world.  A chain of 64-word records
    rooted in a reserved global; payload words are mostly zero with the
@@ -31,20 +33,19 @@ let set_a env i v = Segment.write_word env.Platform.data (a_slot env i) v
 let allocate_ballast env rng bytes =
   if bytes > 0 then begin
     let m = env.Platform.machine in
-    let gc = env.Platform.gc in
     let record_bytes = 256 in
     let n = bytes / record_bytes in
     let root_slot = Addr.add env.Platform.globals_base (4 * (env.Platform.globals_words - 1)) in
     for _ = 1 to n do
       let r = Machine.allocate m record_bytes in
-      let prev = Segment.read_word env.Platform.data root_slot in
-      Cgc.Gc.set_field gc r 0 prev;
+      let prev = Machine.read_root_word m env.Platform.data root_slot in
+      Machine.write_field m r 0 prev;
       for w = 1 to (record_bytes / 4) - 1 do
         (* payload integers stay below the heap: sizes, counts, character
            data — live data mass without extra false references *)
-        if Rng.chance rng 0.05 then Cgc.Gc.set_field gc r w (Rng.int rng (1024 * 1024))
+        if Rng.chance rng 0.05 then Machine.write_field m r w (Rng.int rng (1024 * 1024))
       done;
-      Segment.write_word env.Platform.data root_slot (Addr.to_int r)
+      Machine.write_root_word m env.Platform.data root_slot (Addr.to_int r)
     done
   end
 

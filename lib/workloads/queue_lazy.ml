@@ -10,10 +10,11 @@ type result = {
   live_window_nodes : int;
 }
 
-let run ?(seed = 7) ?(window = 8) ?(false_ref_at = 10) ~clear_links ops =
+let run ?(seed = 7) ?prepare ?(window = 8) ?(false_ref_at = 10) ~clear_links ops =
   if ops <= false_ref_at + window then
     invalid_arg "Queue_lazy.run: ops must exceed false_ref_at + window";
   let h = Harness.create ~seed () in
+  (match prepare with None -> () | Some f -> f h);
   let gc = h.Harness.gc in
   let q = Builder.queue_create h.Harness.machine in
   (* the queue header is the structure's real (and only) root *)

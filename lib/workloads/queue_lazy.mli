@@ -22,8 +22,16 @@ type result = {
   live_window_nodes : int;
 }
 
-val run : ?seed:int -> ?window:int -> ?false_ref_at:int -> clear_links:bool -> int -> result
-(** [run ~clear_links ops] *)
+val run :
+  ?seed:int ->
+  ?prepare:(Harness.t -> unit) ->
+  ?window:int ->
+  ?false_ref_at:int ->
+  clear_links:bool ->
+  int ->
+  result
+(** [run ~clear_links ops].  [prepare] runs on the fresh harness before
+    any allocation (trace-recorder hook). *)
 
 val growth_series : ?seed:int -> ?window:int -> clear_links:bool -> int list -> result list
 (** The unbounded-growth curve: one run per operation count. *)

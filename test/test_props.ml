@@ -378,6 +378,186 @@ let prop_verify_clean_under_auto_collect =
       Gc.collect gc;
       Cgc.Verify.check_after_collect gc = [])
 
+(* --- static retention analyzer (lib/analysis) --- *)
+
+module An = Cgc_analysis
+module Ir = An.Ir
+
+(* Random but execution-consistent IR programs: every semantic tag
+   [{raw; obj = Some id}] really is an address inside object [id]'s
+   allocation, object bases never overlap or get reused, and stack
+   accesses stay inside the pushed frames.  That is exactly the class
+   of programs the recorder can emit, so the analyzer's soundness
+   invariant must hold on all of them. *)
+let build_ir ops : Ir.program =
+  let stack_words = 64 and n_registers = 8 and globals_words = 8 in
+  let frame_slots = 4 and frame_padding = 2 in
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  let next_id = ref 0 in
+  let handles = ref [] in
+  let next_base = ref 0x1000 in
+  let sp = ref stack_words in
+  let depth = ref 0 in
+  (* which handle each global slot currently roots: heap accesses are
+     only generated through these, so the program never touches an
+     object the collector could already have swept (real recorded
+     traces have the same property — the recorder only sees the
+     accesses a correct mutator makes) *)
+  let slot_of = Array.make globals_words None in
+  let usable () = Array.to_list slot_of |> List.filter_map Fun.id in
+  let pick l n = List.nth l (n mod List.length l) in
+  (* a value the mutator could really produce right now: junk, or a
+     handle it still holds (anything beyond the rooted set would be
+     conjuring the address of a possibly-swept object from thin air,
+     which no correct mutator does and no recorded trace contains) *)
+  let value_of n =
+    let rooted = usable () in
+    if rooted = [] || n mod 3 = 0 then
+      (* junk: zero, a small integer, or an integer that may collide
+         with the object address range *)
+      Ir.vint
+        (match n mod 4 with
+        | 0 -> 0
+        | 1 -> n land 0xffff
+        | 2 -> 0x1000 + (n mod 0x4000)
+        | _ -> n)
+    else
+      let id, base, bytes = pick rooted n in
+      let off = if n mod 5 = 0 then 4 * (n / 5 mod max 1 (bytes / 4)) else 0 in
+      { Ir.raw = base + off; obj = Some id }
+  in
+  List.iter
+    (fun (op, a, b, c) ->
+      match op mod 12 with
+      | 0 | 1 ->
+          let bytes = 8 + (8 * (a mod 3)) in
+          let id = !next_id in
+          incr next_id;
+          let base = !next_base in
+          next_base := base + 64;
+          handles := (id, base, bytes) :: !handles;
+          emit (Ir.Alloc { obj = id; base; bytes; pointer_free = b mod 5 = 0 });
+          emit (Ir.Reg_write { reg = c mod n_registers; value = { Ir.raw = base; obj = Some id } });
+          let slot = c mod globals_words in
+          emit (Ir.Root_write { word = slot; value = { Ir.raw = base; obj = Some id } });
+          slot_of.(slot) <- Some (id, base, bytes)
+      | 2 -> emit (Ir.Reg_write { reg = a mod n_registers; value = value_of b })
+      | 3 -> emit (Ir.Reg_read { reg = a mod n_registers })
+      | 4 ->
+          if !sp < stack_words then begin
+            let w = !sp + (a mod (stack_words - !sp)) in
+            if b mod 2 = 0 then emit (Ir.Local_write { word = w; value = value_of c })
+            else emit (Ir.Local_read { word = w })
+          end
+      | 5 ->
+          let slot = a mod globals_words in
+          if b mod 2 = 0 then begin
+            let v = value_of c in
+            emit (Ir.Root_write { word = slot; value = v });
+            slot_of.(slot) <-
+              (match v.Ir.obj with
+              | Some id -> List.find_opt (fun (i, _, _) -> i = id) !handles
+              | None -> None)
+          end
+          else emit (Ir.Root_read { word = slot })
+      | 6 -> (
+          match usable () with
+          | [] -> ()
+          | rooted ->
+              let id, _, bytes = pick rooted a in
+              let field = b mod max 1 (bytes / 4) in
+              if c mod 2 = 0 then emit (Ir.Heap_write { obj = id; field; value = value_of c })
+              else emit (Ir.Heap_read { obj = id; field }))
+      | 7 ->
+          if !depth < 4 then begin
+            emit (Ir.Frame_push { slots = frame_slots; padding = frame_padding; cleared = false });
+            sp := !sp - frame_slots - frame_padding;
+            incr depth
+          end
+      | 8 ->
+          if !depth > 0 then begin
+            emit (Ir.Frame_pop { slots = frame_slots; padding = frame_padding; cleared = false });
+            sp := !sp + frame_slots + frame_padding;
+            decr depth
+          end
+      | 9 ->
+          if !sp > 0 then begin
+            let lo = a mod !sp in
+            emit (Ir.Stack_clear { lo_word = lo; n_words = 1 + (b mod (!sp - lo)) })
+          end
+      | 10 -> emit Ir.Clear_registers
+      | _ -> emit (Ir.Gc_point { measured = None }))
+    ops;
+  emit (Ir.Gc_point { measured = None });
+  {
+    Ir.n_registers;
+    stack_words;
+    globals_words;
+    interior_pointers = true;
+    code = Array.of_list (List.rev !code);
+  }
+
+let ir_ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 60 150)
+      (quad (int_bound 10_000) (int_bound 10_000) (int_bound 10_000) (int_bound 10_000)))
+
+let diagnose ops =
+  let p = build_ir ops in
+  let t = An.Analysis.run p in
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "%a@." Ir.pp p;
+  Array.iteri (fun i instr -> Format.fprintf ppf "%3d: %a@." i Ir.pp_instr instr) p.Ir.code;
+  List.iter
+    (fun (s : An.Apparent.gc_snapshot) ->
+      let missing =
+        An.Liveness.ISet.diff s.An.Apparent.precise s.An.Apparent.apparent
+      in
+      if not (An.Liveness.ISet.is_empty missing) then
+        Format.fprintf ppf "gc#%d at %d UNSOUND, precise-only ids: %s@." s.An.Apparent.ordinal
+          s.An.Apparent.at_instr
+          (String.concat ","
+             (List.map string_of_int (An.Liveness.ISet.elements missing))))
+    t.An.Analysis.retention.An.Apparent.snapshots;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let ir_ops_arb = QCheck.make ir_ops_gen ~shrink:QCheck.Shrink.list ~print:diagnose
+
+let prop_analyzer_sound =
+  QCheck.Test.make ~count:80 ~name:"analyzer: apparent is a sound over-approximation"
+    ir_ops_arb
+    (fun ops -> (An.Analysis.validate (An.Analysis.run (build_ir ops))).An.Analysis.sound)
+
+let cleared_frames (p : Ir.program) =
+  {
+    p with
+    Ir.code =
+      Array.map
+        (function
+          | Ir.Frame_push { slots; padding; _ } -> Ir.Frame_push { slots; padding; cleared = true }
+          | Ir.Frame_pop { slots; padding; _ } -> Ir.Frame_pop { slots; padding; cleared = true }
+          | i -> i)
+        p.Ir.code;
+  }
+
+let prop_clearing_monotone =
+  QCheck.Test.make ~count:80
+    ~name:"analyzer: frame clearing never increases predicted retention" ir_ops_arb (fun ops ->
+      let p = build_ir ops in
+      let plain = (An.Analysis.run p).An.Analysis.retention.An.Apparent.snapshots in
+      let hygienic = An.Analysis.run (cleared_frames p) in
+      let cleared = hygienic.An.Analysis.retention.An.Apparent.snapshots in
+      (An.Analysis.validate hygienic).An.Analysis.sound
+      && List.length plain = List.length cleared
+      && List.for_all2
+           (fun (u : An.Apparent.gc_snapshot) (c : An.Apparent.gc_snapshot) ->
+             An.Liveness.ISet.cardinal c.An.Apparent.apparent
+             <= An.Liveness.ISet.cardinal u.An.Apparent.apparent)
+           plain cleared)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -398,6 +578,8 @@ let suite =
       prop_verify_clean;
       prop_verify_clean_under_auto_collect;
       prop_lazy_matches_eager;
+      prop_analyzer_sound;
+      prop_clearing_monotone;
     ]
 
 let () = Alcotest.run "props" [ ("properties", suite) ]

@@ -40,8 +40,11 @@ let random_live w =
   | [] -> None
   | l -> Some (List.nth l (Rng.int w.rng (List.length l)))
 
-(* One random mutator step. *)
-let step w =
+(* One random mutator step.  Returns [true] when the step was an
+   explicit collection (the only moment the post-collection audit's
+   stats-vs-heap agreement is guaranteed: an allocation-triggered
+   collection is immediately followed by the new object being carved). *)
+let step w : bool =
   match Rng.int w.rng 100 with
   | n when n < 45 ->
       (* allocate a small object, sometimes atomic, sometimes finalized *)
@@ -50,32 +53,43 @@ let step w =
       let finalizer = if Rng.chance w.rng 0.1 then Some "soak" else None in
       let a = Gc.allocate ~pointer_free ?finalizer w.gc bytes in
       w.live_candidates <- a :: w.live_candidates;
-      if Rng.chance w.rng 0.6 then set_slot w (Rng.int w.rng n_slots) (Addr.to_int a)
+      if Rng.chance w.rng 0.6 then set_slot w (Rng.int w.rng n_slots) (Addr.to_int a);
+      false
   | n when n < 50 ->
       (* a large object *)
       let bytes = 3000 + Rng.int w.rng 12000 in
       let a = Gc.allocate w.gc bytes in
-      if Rng.chance w.rng 0.8 then set_slot w (Rng.int w.rng n_slots) (Addr.to_int a)
+      if Rng.chance w.rng 0.8 then set_slot w (Rng.int w.rng n_slots) (Addr.to_int a);
+      false
   | n when n < 70 -> (
       (* link two live objects *)
       match (random_live w, random_live w) with
       | Some a, Some b when Gc.is_allocated w.gc a && Gc.is_allocated w.gc b -> (
           match Gc.object_size w.gc a with
           | Some size when size >= 4 ->
-              Gc.set_field w.gc a (Rng.int w.rng (size / 4)) (Addr.to_int b)
-          | _ -> ())
-      | _ -> ())
+              Gc.set_field w.gc a (Rng.int w.rng (size / 4)) (Addr.to_int b);
+              false
+          | _ -> false)
+      | _ -> false)
   | n when n < 85 ->
       (* drop a root *)
-      set_slot w (Rng.int w.rng n_slots) 0
+      set_slot w (Rng.int w.rng n_slots) 0;
+      false
   | n when n < 92 ->
       (* plant a false reference: a random heap-region value *)
       let heap = Gc.heap w.gc in
       let v = Addr.to_int (Cgc.Heap.base heap) + Rng.int w.rng (8 * 1024 * 1024) in
-      set_slot w (Rng.int w.rng n_slots) v
-  | n when n < 97 -> Gc.collect w.gc
-  | n when n < 99 -> ignore (Gc.drain_pending_sweeps w.gc)
-  | _ -> ignore (Gc.trim w.gc)
+      set_slot w (Rng.int w.rng n_slots) v;
+      false
+  | n when n < 97 ->
+      Gc.collect w.gc;
+      true
+  | n when n < 99 ->
+      ignore (Gc.drain_pending_sweeps w.gc);
+      false
+  | _ ->
+      ignore (Gc.trim w.gc);
+      false
 
 let assert_rooted_alive w tag =
   Array.iter
@@ -98,7 +112,7 @@ let assert_rooted_alive w tag =
 let soak ~seed ~config ~steps ~tag () =
   let w = make_world ~seed ~config in
   for i = 1 to steps do
-    step w;
+    ignore (step w : bool);
     if i mod 500 = 0 then begin
       Gc.collect w.gc;
       assert_rooted_alive w tag;
@@ -141,6 +155,28 @@ let soak_base_only =
   soak ~seed:606
     ~config:{ base_config with Config.interior_pointers = false; valid_displacements = [ 4 ] }
     ~steps:4000 ~tag:"base-only"
+
+(* Short soak with the auditor in the loop: every single mutator step
+   is followed by a full invariant check, and every explicit collection
+   also gets the stricter post-collection audit.  Catches invariant
+   breakage at the step that caused it rather than up to 500 steps
+   later. *)
+let soak_verified_steps () =
+  let w = make_world ~seed:808 ~config:base_config in
+  for i = 1 to 800 do
+    let explicit_collect = step w in
+    let issues = Verify.check w.gc in
+    if issues <> [] then
+      Alcotest.failf "per-step: invariants broken at step %d: %s" i (String.concat "; " issues);
+    if explicit_collect then begin
+      let issues = Verify.check_after_collect w.gc in
+      if issues <> [] then
+        Alcotest.failf "per-step: post-collection invariants broken at step %d: %s" i
+          (String.concat "; " issues)
+    end
+  done;
+  assert_rooted_alive w "per-step";
+  check (Alcotest.list Alcotest.string) "per-step: final invariants" [] (Verify.check w.gc)
 
 (* Generational soak: random minor/major cadence with barriered writes. *)
 let soak_generational () =
@@ -187,5 +223,6 @@ let () =
           Alcotest.test_case "unaligned scanning" `Slow soak_unaligned;
           Alcotest.test_case "base-only + displacement" `Slow soak_base_only;
           Alcotest.test_case "generational" `Slow soak_generational;
+          Alcotest.test_case "verified every step" `Slow soak_verified_steps;
         ] );
     ]
