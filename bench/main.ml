@@ -5,9 +5,17 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table1 fig1  # selected sections
      dune exec bench/main.exe -- table1 --paper-scale
+     dune exec bench/main.exe -- mark table1 --json   # machine-readable summary
 
    Sections: table1 fig1 fig34 stack-clearing structures sweep
-             large-object dual-run fragmentation overhead timing *)
+             large-object dual-run fragmentation generational
+             pcr-threads ablations overhead mark timing
+
+   Flags: --paper-scale   full 25000-cell lists (slow)
+          --seeds N       range over N seeds in table 1
+          --smoke         heavily down-scaled runs (CI)
+          --json          also write a JSON summary
+          --json-out F    JSON destination (default BENCH_pr2.json) *)
 
 open Cgc_vm
 module W = Cgc_workloads
@@ -16,6 +24,28 @@ let seed = 1993
 
 let section name description =
   Format.printf "@.=== %s — %s ===@.@." name description
+
+(* --- machine-readable summary (--json); hand-rolled, no JSON dep --- *)
+
+let json_enabled = ref false
+let json_fields : (string * string) list ref = ref []
+let json_add key value = if !json_enabled then json_fields := (key, value) :: !json_fields
+let json_int key v = json_add key (string_of_int v)
+let json_float key v = json_add key (Printf.sprintf "%.2f" v)
+let json_bool key v = json_add key (string_of_bool v)
+let json_string key v = json_add key (Printf.sprintf "%S" v)
+
+let json_write path =
+  let fields = List.rev !json_fields in
+  let n = List.length fields in
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) -> Printf.fprintf oc "  %S: %s%s\n" k v (if i = n - 1 then "" else ","))
+    fields;
+  output_string oc "}\n";
+  close_out oc;
+  Format.printf "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -35,11 +65,16 @@ let paper_bands =
     ("pcr", ("44.5-55%", "1.5-3.5%"));
   ]
 
-let table1 ~paper_scale ~seeds () =
+let table1 ~paper_scale ~seeds ~smoke () =
   section "Table 1" "storage retention with and without blacklisting (program T)";
-  let scale_note = if paper_scale then "paper scale (25000-cell lists)" else "standard scale (1/4-length lists)" in
+  let scale_note =
+    if smoke then "smoke scale (tiny lists — trend check only)"
+    else if paper_scale then "paper scale (25000-cell lists)"
+    else "standard scale (1/4-length lists)"
+  in
   if seeds = 1 then Format.printf "%s, seed %d@.@." scale_note seed
   else Format.printf "%s, ranges over %d seeds (the paper reports ranges too)@.@." scale_note seeds;
+  let platforms = if smoke then [ W.Platform.sparc_static ~optimized:false ] else W.Platform.all in
   Format.printf "%-18s | %-10s %-12s | %-10s %-12s@." "platform" "paper bl-" "ours bl-" "paper bl+" "ours bl+";
   Format.printf "%s@." (String.make 72 '-');
   let range f rows =
@@ -50,30 +85,46 @@ let table1 ~paper_scale ~seeds () =
   in
   List.iter
     (fun p ->
+      let lists = if smoke then Some 40 else None in
       let nodes =
-        if paper_scale then p.W.Platform.nodes_per_list else p.W.Platform.nodes_per_list / 4
+        if smoke then 600
+        else if paper_scale then p.W.Platform.nodes_per_list
+        else p.W.Platform.nodes_per_list / 4
       in
-      let rows = List.init seeds (fun k -> W.Program_t.run_row ~seed:(seed + (1000 * k)) ~nodes p) in
+      let rows =
+        List.init seeds (fun k -> W.Program_t.run_row ~seed:(seed + (1000 * k)) ?lists ~nodes p)
+      in
       let b_off, b_on =
         match List.assoc_opt p.W.Platform.name paper_bands with
         | Some bands -> bands
         | None -> ("?", "?")
       in
+      (match rows with
+      | r :: _ ->
+          json_float
+            (Printf.sprintf "table1_%s_retention_bl_off" p.W.Platform.name)
+            r.W.Program_t.without_blacklisting.W.Program_t.retention_percent;
+          json_float
+            (Printf.sprintf "table1_%s_retention_bl_on" p.W.Platform.name)
+            r.W.Program_t.with_blacklisting.W.Program_t.retention_percent
+      | [] -> ());
       Format.printf "%-18s | %-10s %-12s | %-10s %-12s@.%!" p.W.Platform.name b_off
         (range (fun r -> r.W.Program_t.without_blacklisting.W.Program_t.retention_percent) rows)
         b_on
         (range (fun r -> r.W.Program_t.with_blacklisting.W.Program_t.retention_percent) rows))
-    W.Platform.all;
+    platforms;
   Format.printf
     "@.(retention = %% of dropped circular lists never reclaimed; 'bl' = blacklisting)@.";
   Format.printf "@.analytic check (no-blacklist column, from static pollution alone):@.";
   List.iter
     (fun p ->
       let nodes =
-        if paper_scale then p.W.Platform.nodes_per_list else p.W.Platform.nodes_per_list / 4
+        if smoke then 600
+        else if paper_scale then p.W.Platform.nodes_per_list
+        else p.W.Platform.nodes_per_list / 4
       in
       Format.printf "  %a@." W.Model.pp (W.Model.predict ~seed ~nodes p))
-    W.Platform.all
+    platforms
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1                                                            *)
@@ -364,6 +415,102 @@ let ablations () =
      is usually zero\"@."
 
 (* ------------------------------------------------------------------ *)
+(* Mark-phase throughput: fast path vs retained reference             *)
+(* ------------------------------------------------------------------ *)
+
+(* Words examined per second by the two marker implementations over the
+   same live heap: program T's circular lists on the SPARC(static)
+   platform — big-endian, unaligned (byte-granularity) root scanning,
+   the paper's worst case for marker work.  Both paths run over the very
+   same collector instance, so words/objects per cycle must agree
+   exactly; the JSON records the throughput ratio. *)
+let mark_throughput ~smoke () =
+  section "Mark throughput"
+    "flat-descriptor fast path vs reference scan loop (program T heap, SPARC static)";
+  let p = W.Platform.sparc_static ~optimized:false in
+  let lists = if smoke then 30 else 200 in
+  let nodes = if smoke then 500 else p.W.Platform.nodes_per_list / 4 in
+  let cell_bytes = p.W.Platform.cell_bytes in
+  let heap_max = max (8 * 1024 * 1024) (4 * lists * nodes * cell_bytes) in
+  let env = W.Platform.build_env ~seed ~blacklisting:true ~heap_max p in
+  let gc = env.W.Platform.gc in
+  Cgc.Gc.set_auto_collect gc false;
+  (* program T's a[] holds the list heads; every list stays rooted so
+     each mark cycle has to traverse all of them *)
+  for i = 0 to lists - 1 do
+    let head = Cgc.Gc.allocate gc cell_bytes in
+    let prev = ref (Addr.to_int head) in
+    for _ = 2 to nodes do
+      let c = Cgc.Gc.allocate gc cell_bytes in
+      Cgc.Gc.set_field gc c 0 !prev;
+      prev := Addr.to_int c
+    done;
+    Cgc.Gc.set_field gc head 0 !prev;
+    Segment.write_word env.W.Platform.data
+      (Addr.add env.W.Platform.globals_base (4 * i))
+      (Addr.to_int head)
+  done;
+  let st = Cgc.Gc.stats gc in
+  let time_cycles runner iters =
+    let w0 = st.Cgc.Stats.words_scanned and m0 = st.Cgc.Stats.objects_marked in
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      runner gc
+    done;
+    let dt = Float.max 1e-9 (Sys.time () -. t0) in
+    let words = st.Cgc.Stats.words_scanned - w0 in
+    (float_of_int words /. dt, words / iters, (st.Cgc.Stats.objects_marked - m0) / iters, dt)
+  in
+  (* warm both paths (page tables, blacklist, caches), then calibrate the
+     iteration count so each measured run lasts long enough to time *)
+  Cgc.Gc.Internal.run_mark_reference gc;
+  Cgc.Gc.Internal.run_mark gc;
+  let calibrate runner =
+    if smoke then 2
+    else begin
+      let t0 = Sys.time () in
+      runner gc;
+      let dt = Float.max 1e-6 (Sys.time () -. t0) in
+      max 3 (int_of_float (ceil (1.0 /. dt)))
+    end
+  in
+  let iters_ref = calibrate Cgc.Gc.Internal.run_mark_reference in
+  let ref_rate, ref_words, ref_marked, ref_secs =
+    time_cycles Cgc.Gc.Internal.run_mark_reference iters_ref
+  in
+  let iters_fast = calibrate Cgc.Gc.Internal.run_mark in
+  let hits0 = st.Cgc.Stats.header_cache_hits in
+  let fast_rate, fast_words, fast_marked, fast_secs =
+    time_cycles Cgc.Gc.Internal.run_mark iters_fast
+  in
+  let hits_per_cycle = (st.Cgc.Stats.header_cache_hits - hits0) / iters_fast in
+  let parity = ref_words = fast_words && ref_marked = fast_marked in
+  let speedup = fast_rate /. ref_rate in
+  Format.printf "  live heap : %d lists x %d cells (%d KB committed)@." lists nodes
+    (Cgc.Heap.committed_bytes (Cgc.Gc.heap gc) / 1024);
+  Format.printf "  reference : %11.0f words/s  (%d words, %d objects per cycle; %d cycles, %.2fs)@."
+    ref_rate ref_words ref_marked iters_ref ref_secs;
+  Format.printf "  fast path : %11.0f words/s  (%d words, %d objects per cycle; %d cycles, %.2fs)@."
+    fast_rate fast_words fast_marked iters_fast fast_secs;
+  Format.printf "  speedup   : %.2fx   header-cache hits per cycle: %d@." speedup hits_per_cycle;
+  Format.printf "  parity    : words and objects per cycle %s@."
+    (if parity then "identical" else "DIVERGED — fast path is wrong");
+  json_string "mark_platform" p.W.Platform.name;
+  json_int "mark_lists" lists;
+  json_int "mark_nodes_per_list" nodes;
+  json_int "mark_words_per_cycle" fast_words;
+  json_int "mark_objects_per_cycle" fast_marked;
+  json_float "mark_reference_words_per_sec" ref_rate;
+  json_float "mark_fast_words_per_sec" fast_rate;
+  json_float "mark_speedup" speedup;
+  json_int "mark_header_cache_hits_per_cycle" hits_per_cycle;
+  json_bool "mark_parity" parity;
+  if not parity then begin
+    Format.eprintf "mark throughput: fast path diverged from reference@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suites (footnote 3's microbenchmarks)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -485,12 +632,15 @@ let all_sections =
     ("pcr-threads", `Threads);
     ("ablations", `Ablations);
     ("overhead", `Overhead);
+    ("mark", `Mark);
     ("timing", `Timing);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let paper_scale = List.mem "--paper-scale" args in
+  let smoke = List.mem "--smoke" args in
+  let json = List.mem "--json" args in
   let seeds =
     let rec find = function
       | "--seeds" :: n :: _ -> (try max 1 (int_of_string n) with Failure _ -> 1)
@@ -499,12 +649,28 @@ let () =
     in
     find args
   in
+  let json_out =
+    let rec find = function
+      | "--json-out" :: path :: _ -> path
+      | _ :: rest -> find rest
+      | [] -> "BENCH_pr2.json"
+    in
+    find args
+  in
   let rec strip = function
     | "--seeds" :: _ :: rest -> strip rest
+    | "--json-out" :: _ :: rest -> strip rest
     | a :: rest -> a :: strip rest
     | [] -> []
   in
-  let wanted = List.filter (fun a -> a <> "--paper-scale") (strip args) in
+  let wanted =
+    List.filter (fun a -> not (List.mem a [ "--paper-scale"; "--smoke"; "--json" ])) (strip args)
+  in
+  json_enabled := json;
+  json_string "bench" "boehm93-reproduction";
+  json_bool "smoke" smoke;
+  json_bool "paper_scale" paper_scale;
+  json_int "seeds" seeds;
   let selected =
     if wanted = [] then List.map snd all_sections
     else
@@ -523,7 +689,7 @@ let () =
   List.iter
     (fun s ->
       match s with
-      | `Table1 -> table1 ~paper_scale ~seeds ()
+      | `Table1 -> table1 ~paper_scale ~seeds ~smoke ()
       | `Fig1 -> fig1 ()
       | `Fig34 -> fig34 ()
       | `Stack -> stack_clearing ()
@@ -535,5 +701,7 @@ let () =
       | `Threads -> pcr_threads ()
       | `Ablations -> ablations ()
       | `Overhead -> overhead ()
+      | `Mark -> mark_throughput ~smoke ()
       | `Timing -> timing ())
-    selected
+    selected;
+  if json then json_write json_out

@@ -7,6 +7,7 @@ type representation =
 type t = {
   refresh : bool;
   representation : representation;
+  hash_buckets : int;  (* 0 = exact; avoids a variant match per [note] *)
   n_pages : int;
   mutable current : Bitset.t;
   mutable previous : Bitset.t;
@@ -14,10 +15,8 @@ type t = {
 }
 
 (* Fibonacci hashing spreads consecutive page numbers across buckets. *)
-let bucket_of t page =
-  match t.representation with
-  | Exact -> page
-  | Hashed buckets -> page * 2654435761 land 0x3FFFFFFF mod buckets
+let[@inline] bucket_of t page =
+  if t.hash_buckets = 0 then page else page * 2654435761 land 0x3FFFFFFF mod t.hash_buckets
 
 let create ?(representation = Exact) ~n_pages ~refresh () =
   let universe =
@@ -30,6 +29,7 @@ let create ?(representation = Exact) ~n_pages ~refresh () =
   {
     refresh;
     representation;
+    hash_buckets = (match representation with Exact -> 0 | Hashed buckets -> buckets);
     n_pages;
     current = Bitset.create universe;
     previous = Bitset.create universe;

@@ -74,6 +74,30 @@ let validate t =
 
 let max_small_bytes t = t.page_size / 2
 
+(* Bitmask over word-aligned displacements, 62 bits per word: bit
+   [d / granule] is set iff a pointer at byte displacement [d] into an
+   object is recognized.  Bit 0 (the object base) is always set, mirroring
+   "offset 0 is always valid". *)
+let displacement_mask t =
+  let granule = t.granule in
+  let max_d = List.fold_left max 0 t.valid_displacements in
+  let n_bits = (max_d / granule) + 1 in
+  let words = Array.make ((n_bits + 61) / 62) 0 in
+  let set d =
+    let i = d / granule in
+    words.(i / 62) <- words.(i / 62) lor (1 lsl (i mod 62))
+  in
+  set 0;
+  List.iter set t.valid_displacements;
+  words
+
+let[@inline] displacement_in_mask mask ~granule d =
+  d mod granule = 0
+  &&
+  let i = d / granule in
+  let w = i / 62 in
+  w < Array.length mask && mask.(w) land (1 lsl (i mod 62)) <> 0
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>page_size=%d granule=%d interior=%b displacements=[%s] large=%s align=%d@,\

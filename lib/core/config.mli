@@ -95,4 +95,15 @@ val max_small_bytes : t -> int
 (** Largest request served from size-classed pages ([page_size / 2]);
     larger requests become multi-page "large" objects. *)
 
+val displacement_mask : t -> int array
+(** Bitmask form of [valid_displacements] for the scan fast path: bit
+    [d / granule] (62 bits per array word) is set iff byte displacement
+    [d] is recognized.  Bit 0 is always set. *)
+
+val displacement_in_mask : int array -> granule:int -> int -> bool
+(** [displacement_in_mask mask ~granule d]: whether displacement [d] is
+    recognized — equivalent to
+    [d = 0 || List.mem d valid_displacements] on the mask's source
+    config, in O(1). *)
+
 val pp : Format.formatter -> t -> unit

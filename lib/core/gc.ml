@@ -423,6 +423,7 @@ module Internal = struct
   let marker t = t.marker
   let run_sweep t = Sweep.run t.heap t.free_lists t.finalize t.stats
   let run_mark t = Mark.run t.marker t.roots ~mem:t.mem
+  let run_mark_reference t = Mark.Reference.run t.marker t.roots ~mem:t.mem
 
   let is_marked t addr =
     match find_object t addr with

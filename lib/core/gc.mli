@@ -126,6 +126,11 @@ module Internal : sig
   val run_mark : t -> unit
   (** Mark phase only (no sweep): leaves mark bits set for inspection. *)
 
+  val run_mark_reference : t -> unit
+  (** Like {!run_mark} but through {!Mark.Reference} — the
+      pre-optimization scan loop.  Used by the differential tests and the
+      mark-throughput benchmark. *)
+
   val is_marked : t -> Addr.t -> bool
   (** Valid only between [run_mark] and the next sweep. *)
 end

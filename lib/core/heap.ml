@@ -1,5 +1,24 @@
 open Cgc_vm
 
+(* Flat structure-of-arrays mirror of the page table.  The mark-phase
+   fast path classifies every scanned word against these packed arrays
+   — a byte load for the kind, int loads for the geometry, and direct
+   bitset references — instead of matching [Page.t] variants and
+   chasing record pointers.  Rows are kept coherent with [pages] by
+   [set_page]; the bitsets and the large record are the very objects
+   inside the [Page.t] value, so mark/alloc mutations need no mirroring. *)
+type desc = {
+  d_kind : Bytes.t;  (** [Page.kind_code] per page *)
+  d_object_bytes : int array;
+  d_first_offset : int array;
+  d_n_objects : int array;
+  d_head : int array;  (** large tail -> head page; otherwise the page itself *)
+  d_pointer_free : Bytes.t;  (** 1 = never scanned *)
+  d_alloc : Bitset.t array;  (** shared with the [Page.Small] record *)
+  d_mark : Bitset.t array;
+  d_large : Page.large array;  (** shared with the [Page.Large_head] record *)
+}
+
 type t = {
   seg : Segment.t;
   base : Addr.t;
@@ -7,12 +26,70 @@ type t = {
   page_shift : int;
   n_pages : int;
   pages : Page.t array;
+  desc : desc;
   mutable committed : int; (* pages [0, committed) are committed *)
 }
 
 let log2 n =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
   go 0 n
+
+(* Row for a page that carries no objects. *)
+let empty_bits = Bitset.create 0
+
+let make_desc n_pages =
+  {
+    d_kind = Bytes.make n_pages (Char.chr Page.kind_uncommitted);
+    d_object_bytes = Array.make n_pages 0;
+    d_first_offset = Array.make n_pages 0;
+    d_n_objects = Array.make n_pages 0;
+    d_head = Array.init n_pages Fun.id;
+    d_pointer_free = Bytes.make n_pages '\001';
+    d_alloc = Array.make n_pages empty_bits;
+    d_mark = Array.make n_pages empty_bits;
+    d_large = Array.make n_pages Page.dummy_large;
+  }
+
+let sync_desc t i (p : Page.t) =
+  let d = t.desc in
+  Bytes.set d.d_kind i (Char.chr (Page.kind_code p));
+  match p with
+  | Page.Uncommitted | Page.Free ->
+      d.d_object_bytes.(i) <- 0;
+      d.d_first_offset.(i) <- 0;
+      d.d_n_objects.(i) <- 0;
+      d.d_head.(i) <- i;
+      Bytes.set d.d_pointer_free i '\001';
+      d.d_alloc.(i) <- empty_bits;
+      d.d_mark.(i) <- empty_bits;
+      d.d_large.(i) <- Page.dummy_large
+  | Page.Small s ->
+      d.d_object_bytes.(i) <- s.Page.object_bytes;
+      d.d_first_offset.(i) <- s.Page.first_offset;
+      d.d_n_objects.(i) <- s.Page.n_objects;
+      d.d_head.(i) <- i;
+      Bytes.set d.d_pointer_free i (if s.Page.pointer_free then '\001' else '\000');
+      d.d_alloc.(i) <- s.Page.alloc;
+      d.d_mark.(i) <- s.Page.mark;
+      d.d_large.(i) <- Page.dummy_large
+  | Page.Large_head l ->
+      d.d_object_bytes.(i) <- l.Page.object_bytes;
+      d.d_first_offset.(i) <- 0;
+      d.d_n_objects.(i) <- 1;
+      d.d_head.(i) <- i;
+      Bytes.set d.d_pointer_free i (if l.Page.l_pointer_free then '\001' else '\000');
+      d.d_alloc.(i) <- empty_bits;
+      d.d_mark.(i) <- empty_bits;
+      d.d_large.(i) <- l
+  | Page.Large_tail { head_index } ->
+      d.d_object_bytes.(i) <- 0;
+      d.d_first_offset.(i) <- 0;
+      d.d_n_objects.(i) <- 0;
+      d.d_head.(i) <- head_index;
+      Bytes.set d.d_pointer_free i '\001';
+      d.d_alloc.(i) <- empty_bits;
+      d.d_mark.(i) <- empty_bits;
+      d.d_large.(i) <- Page.dummy_large
 
 let create mem ~config ~base ~max_bytes =
   Config.validate config;
@@ -33,11 +110,13 @@ let create mem ~config ~base ~max_bytes =
       page_shift = log2 page_size;
       n_pages;
       pages = Array.make n_pages Page.Uncommitted;
+      desc = make_desc n_pages;
       committed = 0;
     }
   in
   for i = 0 to config.Config.initial_pages - 1 do
-    t.pages.(i) <- Page.Free
+    t.pages.(i) <- Page.Free;
+    sync_desc t i Page.Free
   done;
   t.committed <- config.Config.initial_pages;
   t
@@ -53,7 +132,13 @@ let contains t a = Addr.in_range a ~lo:t.base ~hi:(limit_reserved t)
 let page_index t a = Addr.diff a t.base asr t.page_shift
 let page_addr t i = Addr.add t.base (i * t.page_size)
 let page t i = t.pages.(i)
-let set_page t i p = t.pages.(i) <- p
+
+let set_page t i p =
+  t.pages.(i) <- p;
+  sync_desc t i p
+
+let desc t = t.desc
+let page_shift t = t.page_shift
 
 let iter_committed t f =
   for i = 0 to t.committed - 1 do
@@ -94,7 +179,7 @@ let uncommit_trailing_free t =
   while !continue_ && t.committed > 0 do
     match t.pages.(t.committed - 1) with
     | Page.Free ->
-        t.pages.(t.committed - 1) <- Page.Uncommitted;
+        set_page t (t.committed - 1) Page.Uncommitted;
         t.committed <- t.committed - 1;
         incr released
     | Page.Uncommitted | Page.Small _ | Page.Large_head _ | Page.Large_tail _ ->
@@ -106,7 +191,7 @@ let commit_through t i =
   if i >= t.n_pages then false
   else begin
     for j = t.committed to i do
-      t.pages.(j) <- Page.Free
+      set_page t j Page.Free
     done;
     if i + 1 > t.committed then t.committed <- i + 1;
     true

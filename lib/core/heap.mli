@@ -12,6 +12,33 @@ open Cgc_vm
 
 type t
 
+(** {1 Flat page-descriptor table}
+
+    A structure-of-arrays mirror of the page table, indexed by page
+    number.  The mark-phase fast path ({!Mark}) classifies each scanned
+    word against these packed rows — one byte load for the kind, int
+    loads for the geometry, direct bitset references — instead of
+    matching [Page.t] variants.  Rows are maintained by {!set_page}; the
+    bitsets ([d_alloc]/[d_mark]) and the [d_large] record are physically
+    the same objects held by the corresponding [Page.t] value, so
+    per-object mutations (mark bits, alloc bits, [l_marked]) are
+    coherent without any extra bookkeeping. *)
+type desc = {
+  d_kind : Bytes.t;  (** [Page.kind_code] per page *)
+  d_object_bytes : int array;
+  d_first_offset : int array;
+  d_n_objects : int array;
+  d_head : int array;  (** large tail -> head page; otherwise the page itself *)
+  d_pointer_free : Bytes.t;  (** 1 = contents never scanned *)
+  d_alloc : Bitset.t array;
+  d_mark : Bitset.t array;
+  d_large : Page.large array;
+}
+
+val desc : t -> desc
+val page_shift : t -> int
+(** [log2 (page_size t)]; [page_index t a = (a - base t) lsr page_shift t]. *)
+
 val create : Mem.t -> config:Config.t -> base:Addr.t -> max_bytes:int -> t
 (** Reserve [max_bytes] (rounded up to whole pages) at [base] and commit
     [config.initial_pages]. *)

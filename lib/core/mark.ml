@@ -5,6 +5,11 @@ type classification =
   | False_in_heap of { page : int }
   | Outside
 
+(* The reference classifier: a direct transcription of the paper's
+   validity test against the [Page.t] variants.  Kept as the oracle for
+   the fast path (see [Reference]) and for cold call sites
+   ([Gc.find_object], tracing, the generational write barrier) where
+   clarity beats throughput. *)
 let classify heap (config : Config.t) value =
   if not (Heap.contains heap value) then Outside
   else begin
@@ -70,10 +75,75 @@ type t = {
   mutable stack : int array; (* object base addresses *)
   mutable sp : int;
   mutable overflowed : bool;
+  (* Scan scalars hoisted out of the per-word path.  All are immutable
+     copies of configuration/heap geometry that cannot change while the
+     marker exists. *)
+  desc : Heap.desc;
+  heap_seg : Segment.t;
+  heap_lo : int;
+  heap_hi : int;
+  page_shift : int;
+  page_mask : int;  (** [page_size - 1] *)
+  alignment : int;
+  granule : int;
+  interior : bool;
+  tail_valid : bool;  (** interior pointers on and [large_validity = Anywhere] *)
+  blacklisting : bool;
+  disp_mask : int array;
+  (* One-entry header cache (Boehm's HDR cache): the descriptor row of
+     the page hit by the previous heap reference.  Scanned pointers
+     cluster heavily by page, so most lookups avoid even the flat-table
+     loads.  [cache_page = -1] means empty; invalidated whenever the
+     page table may have changed under us (at the start of [run] /
+     [mark_value]). *)
+  mutable cache_page : int;
+  mutable cache_kind : int;
+  mutable cache_object_bytes : int;
+  mutable cache_first_offset : int;
+  mutable cache_n_objects : int;
+  mutable cache_pointer_free : bool;
+  mutable cache_head : int;
+  mutable cache_alloc : Bitset.t;
+  mutable cache_mark : Bitset.t;
+  mutable cache_large : Page.large;
 }
 
 let create heap config blacklist stats =
-  { heap; config; blacklist; stats; stack = Array.make 1024 0; sp = 0; overflowed = false }
+  {
+    heap;
+    config;
+    blacklist;
+    stats;
+    stack = Array.make 1024 0;
+    sp = 0;
+    overflowed = false;
+    desc = Heap.desc heap;
+    heap_seg = Heap.segment heap;
+    heap_lo = Addr.to_int (Heap.base heap);
+    heap_hi = Addr.to_int (Heap.limit_reserved heap);
+    page_shift = Heap.page_shift heap;
+    page_mask = Heap.page_size heap - 1;
+    alignment = config.Config.alignment;
+    granule = config.Config.granule;
+    interior = config.Config.interior_pointers;
+    tail_valid =
+      config.Config.interior_pointers
+      && (match config.Config.large_validity with
+         | Config.Anywhere -> true
+         | Config.First_page_only -> false);
+    blacklisting = config.Config.blacklisting;
+    disp_mask = Config.displacement_mask config;
+    cache_page = -1;
+    cache_kind = Page.kind_uncommitted;
+    cache_object_bytes = 0;
+    cache_first_offset = 0;
+    cache_n_objects = 0;
+    cache_pointer_free = true;
+    cache_head = 0;
+    cache_alloc = Bitset.create 0;
+    cache_mark = Bitset.create 0;
+    cache_large = Page.dummy_large;
+  }
 
 let push t base =
   let at_limit =
@@ -97,57 +167,155 @@ let push t base =
     t.sp <- t.sp + 1
   end
 
-let set_mark_bit t page base =
-  match Heap.page t.heap page with
-  | Page.Small s ->
-      let rel = base - Addr.to_int (Heap.page_addr t.heap page) - s.Page.first_offset in
-      let index = rel / s.Page.object_bytes in
-      if Bitset.mem s.Page.mark index then `Already
-      else begin
-        Bitset.add s.Page.mark index;
-        `Newly (s.Page.object_bytes, s.Page.pointer_free)
-      end
-  | Page.Large_head l ->
-      if l.Page.l_marked then `Already
-      else begin
-        l.Page.l_marked <- true;
-        `Newly (l.Page.object_bytes, l.Page.l_pointer_free)
-      end
-  | Page.Uncommitted | Page.Free | Page.Large_tail _ ->
-      (* classify returned Valid, so the page cannot be in these states *)
-      assert false
+let clear_marks heap =
+  Heap.iter_committed heap (fun _ p ->
+      match p with
+      | Page.Small s -> Bitset.clear s.Page.mark
+      | Page.Large_head l -> l.Page.l_marked <- false
+      | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ())
 
-let consider t value =
-  t.stats.Stats.words_scanned <- t.stats.Stats.words_scanned + 1;
-  match classify t.heap t.config value with
-  | Outside -> ()
-  | False_in_heap { page } ->
-      t.stats.Stats.false_refs <- t.stats.Stats.false_refs + 1;
-      if t.config.Config.blacklisting then Blacklist.note t.blacklist page
-  | Valid { base; page } -> (
-      t.stats.Stats.valid_refs <- t.stats.Stats.valid_refs + 1;
-      match set_mark_bit t page base with
-      | `Already -> ()
-      | `Newly (_, _) ->
-          t.stats.Stats.objects_marked <- t.stats.Stats.objects_marked + 1;
-          push t base)
+(* --- the fast path ------------------------------------------------- *)
+
+(* Fill the header cache with page's descriptor row: straight-line loads
+   from the flat table, no variant match, no allocation.  [page] is in
+   range by construction ([consider_heap] bounds-checks the address, and
+   the descriptor arrays span every reserved page). *)
+let load_header t page =
+  let d = t.desc in
+  t.cache_page <- page;
+  t.cache_kind <- Char.code (Bytes.unsafe_get d.Heap.d_kind page);
+  t.cache_object_bytes <- Array.unsafe_get d.Heap.d_object_bytes page;
+  t.cache_first_offset <- Array.unsafe_get d.Heap.d_first_offset page;
+  t.cache_n_objects <- Array.unsafe_get d.Heap.d_n_objects page;
+  t.cache_pointer_free <- Bytes.unsafe_get d.Heap.d_pointer_free page <> '\000';
+  t.cache_head <- Array.unsafe_get d.Heap.d_head page;
+  t.cache_alloc <- Array.unsafe_get d.Heap.d_alloc page;
+  t.cache_mark <- Array.unsafe_get d.Heap.d_mark page;
+  t.cache_large <- Array.unsafe_get d.Heap.d_large page
+
+let[@inline] ensure_header t page =
+  if page = t.cache_page then
+    t.stats.Stats.header_cache_hits <- t.stats.Stats.header_cache_hits + 1
+  else load_header t page
+
+let[@inline] note_false t page =
+  t.stats.Stats.false_refs <- t.stats.Stats.false_refs + 1;
+  if t.blacklisting then Blacklist.note t.blacklist page
+
+let[@inline] note_valid t = t.stats.Stats.valid_refs <- t.stats.Stats.valid_refs + 1
+
+(* Classify-and-mark fused, against the cached descriptor row.  Mirrors
+   [classify] exactly (the differential tests pin this), but never
+   allocates: no classification constructor, no closure, no [Int32].
+   Does NOT count the word into [words_scanned] — range scans batch that
+   per range. *)
+let consider_heap t value =
+  if value >= t.heap_lo && value < t.heap_hi then begin
+    let page = (value - t.heap_lo) lsr t.page_shift in
+    ensure_header t page;
+    let kind = t.cache_kind in
+    if kind = Page.kind_small then begin
+      let rel = ((value - t.heap_lo) land t.page_mask) - t.cache_first_offset in
+      if rel < 0 then note_false t page
+      else begin
+        let object_bytes = t.cache_object_bytes in
+        let index = rel / object_bytes in
+        let displacement = rel - (index * object_bytes) in
+        if index >= t.cache_n_objects then note_false t page
+        else if not (Bitset.unsafe_mem t.cache_alloc index) then note_false t page
+        else if
+          displacement = 0 || t.interior
+          || Config.displacement_in_mask t.disp_mask ~granule:t.granule displacement
+        then begin
+          note_valid t;
+          if not (Bitset.unsafe_mem t.cache_mark index) then begin
+            Bitset.unsafe_add t.cache_mark index;
+            t.stats.Stats.objects_marked <- t.stats.Stats.objects_marked + 1;
+            push t (value - displacement)
+          end
+        end
+        else note_false t page
+      end
+    end
+    else if kind = Page.kind_large_head then begin
+      let l = t.cache_large in
+      if not l.Page.l_allocated then note_false t page
+      else begin
+        let off = (value - t.heap_lo) land t.page_mask in
+        if off = 0 || (t.interior && off < l.Page.object_bytes) then begin
+          note_valid t;
+          if not l.Page.l_marked then begin
+            l.Page.l_marked <- true;
+            t.stats.Stats.objects_marked <- t.stats.Stats.objects_marked + 1;
+            push t (value - off)
+          end
+        end
+        else note_false t page
+      end
+    end
+    else if kind = Page.kind_large_tail then begin
+      if not t.tail_valid then note_false t page
+      else begin
+        let head = t.cache_head in
+        let l = Array.unsafe_get t.desc.Heap.d_large head in
+        let head_addr = t.heap_lo + (head lsl t.page_shift) in
+        if
+          Char.code (Bytes.unsafe_get t.desc.Heap.d_kind head) = Page.kind_large_head
+          && l.Page.l_allocated
+          && value - head_addr < l.Page.object_bytes
+        then begin
+          note_valid t;
+          if not l.Page.l_marked then begin
+            l.Page.l_marked <- true;
+            t.stats.Stats.objects_marked <- t.stats.Stats.objects_marked + 1;
+            push t head_addr
+          end
+        end
+        else note_false t page
+      end
+    end
+    else (* Free / Uncommitted *) note_false t page
+  end
+
+(* Closure-free scan of [lo, hi) within [seg]: one clamp, then raw
+   unchecked word assembly, specialized per endianness so the branch is
+   hoisted out of the loop.  The words-scanned count for the whole range
+   is the loop-iteration count in closed form, added once. *)
+let scan_words t seg ~lo ~hi =
+  let lo, hi = Segment.clamp_words seg ~alignment:t.alignment ~lo ~hi in
+  if lo + 4 <= hi then begin
+    t.stats.Stats.words_scanned <-
+      t.stats.Stats.words_scanned + (((hi - 4 - lo) / t.alignment) + 1);
+    let bytes = Segment.unsafe_bytes seg in
+    let sbase = Addr.to_int (Segment.base seg) in
+    let alignment = t.alignment in
+    let little = Endian.equal (Segment.endian seg) Endian.Little in
+    if little then begin
+      let a = ref lo in
+      while !a + 4 <= hi do
+        consider_heap t (Segment.unsafe_word_le bytes (!a - sbase));
+        a := !a + alignment
+      done
+    end
+    else begin
+      let a = ref lo in
+      while !a + 4 <= hi do
+        consider_heap t (Segment.unsafe_word_be bytes (!a - sbase));
+        a := !a + alignment
+      done
+    end
+  end
 
 (* Scan the words of a marked object.  Objects live entirely inside the
    heap segment, so we read it directly. *)
 let scan_object t base =
-  let page = Heap.page_index t.heap base in
+  ensure_header t ((base - t.heap_lo) lsr t.page_shift);
   let size, pointer_free =
-    match Heap.page t.heap page with
-    | Page.Small s -> (s.Page.object_bytes, s.Page.pointer_free)
-    | Page.Large_head l -> (l.Page.object_bytes, l.Page.l_pointer_free)
-    | Page.Uncommitted | Page.Free | Page.Large_tail _ -> assert false
+    if t.cache_kind = Page.kind_small then (t.cache_object_bytes, t.cache_pointer_free)
+    else (t.cache_large.Page.object_bytes, t.cache_large.Page.l_pointer_free)
   in
-  if not pointer_free then begin
-    let seg = Heap.segment t.heap in
-    Segment.iter_words seg ~alignment:t.config.Config.alignment ~lo:base
-      ~hi:(Addr.add base size)
-      (fun _addr value -> consider t value)
-  end
+  if not pointer_free then
+    scan_words t t.heap_seg ~lo:(Addr.of_int base) ~hi:(Addr.of_int (base + size))
 
 let drain t =
   while t.sp > 0 do
@@ -156,26 +324,21 @@ let drain t =
   done
 
 let mark_value t value =
-  consider t value;
+  t.cache_page <- -1;
+  t.stats.Stats.words_scanned <- t.stats.Stats.words_scanned + 1;
+  consider_heap t value;
   drain t
-
-let clear_marks heap =
-  Heap.iter_committed heap (fun _ p ->
-      match p with
-      | Page.Small s -> Bitset.clear s.Page.mark
-      | Page.Large_head l -> l.Page.l_marked <- false
-      | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ())
 
 let scan_range t ~mem range =
   let { Roots.lo; hi; label = _ } = range in
   match Mem.find mem lo with
   | None -> ()
-  | Some seg ->
-      Segment.iter_words seg ~alignment:t.config.Config.alignment ~lo ~hi (fun _addr value ->
-          consider t value)
+  | Some seg -> scan_words t seg ~lo ~hi
 
 (* Overflow recovery: rescan every already-marked object so dropped
-   children get marked, until no push overflows. *)
+   children get marked, until no push overflows.  Marked objects are
+   enumerated with the word-level [Bitset.iter_set] rather than probing
+   every slot. *)
 let recover_from_overflow t =
   while t.overflowed do
     t.overflowed <- false;
@@ -183,9 +346,8 @@ let recover_from_overflow t =
         (match p with
         | Page.Small s ->
             let base = Addr.to_int (Heap.page_addr t.heap index) + s.Page.first_offset in
-            for obj = 0 to s.Page.n_objects - 1 do
-              if Bitset.mem s.Page.mark obj then scan_object t (base + (obj * s.Page.object_bytes))
-            done
+            let object_bytes = s.Page.object_bytes in
+            Bitset.iter_set s.Page.mark (fun obj -> scan_object t (base + (obj * object_bytes)))
         | Page.Large_head l ->
             if l.Page.l_marked then scan_object t (Addr.to_int (Heap.page_addr t.heap index))
         | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ());
@@ -196,12 +358,14 @@ let run t roots ~mem =
   clear_marks t.heap;
   t.sp <- 0;
   t.overflowed <- false;
+  t.cache_page <- -1;
   Blacklist.begin_cycle t.blacklist;
   List.iter
     (fun (_, values) ->
       Array.iter
         (fun v ->
-          consider t v;
+          t.stats.Stats.words_scanned <- t.stats.Stats.words_scanned + 1;
+          consider_heap t v;
           drain t)
         values)
     (Roots.current_registers roots);
@@ -211,3 +375,116 @@ let run t roots ~mem =
       drain t)
     (Roots.current_ranges roots);
   recover_from_overflow t
+
+(* --- the reference marker ------------------------------------------ *)
+
+(* The pre-optimization mark phase, verbatim: per-word closures through
+   [Segment.iter_words], allocating classifications from [classify], and
+   variant matching for every mark-bit update.  It shares [t] (stack,
+   stats, blacklist), and the differential tests pin it bit-identical to
+   the fast path above — same mark bitmaps, same blacklist, same counts. *)
+module Reference = struct
+  let set_mark_bit t page base =
+    match Heap.page t.heap page with
+    | Page.Small s ->
+        let rel = base - Addr.to_int (Heap.page_addr t.heap page) - s.Page.first_offset in
+        let index = rel / s.Page.object_bytes in
+        if Bitset.mem s.Page.mark index then `Already
+        else begin
+          Bitset.add s.Page.mark index;
+          `Newly (s.Page.object_bytes, s.Page.pointer_free)
+        end
+    | Page.Large_head l ->
+        if l.Page.l_marked then `Already
+        else begin
+          l.Page.l_marked <- true;
+          `Newly (l.Page.object_bytes, l.Page.l_pointer_free)
+        end
+    | Page.Uncommitted | Page.Free | Page.Large_tail _ ->
+        (* classify returned Valid, so the page cannot be in these states *)
+        assert false
+
+  let consider t value =
+    t.stats.Stats.words_scanned <- t.stats.Stats.words_scanned + 1;
+    match classify t.heap t.config value with
+    | Outside -> ()
+    | False_in_heap { page } ->
+        t.stats.Stats.false_refs <- t.stats.Stats.false_refs + 1;
+        if t.config.Config.blacklisting then Blacklist.note t.blacklist page
+    | Valid { base; page } -> (
+        t.stats.Stats.valid_refs <- t.stats.Stats.valid_refs + 1;
+        match set_mark_bit t page base with
+        | `Already -> ()
+        | `Newly (_, _) ->
+            t.stats.Stats.objects_marked <- t.stats.Stats.objects_marked + 1;
+            push t base)
+
+  let scan_object t base =
+    let page = Heap.page_index t.heap base in
+    let size, pointer_free =
+      match Heap.page t.heap page with
+      | Page.Small s -> (s.Page.object_bytes, s.Page.pointer_free)
+      | Page.Large_head l -> (l.Page.object_bytes, l.Page.l_pointer_free)
+      | Page.Uncommitted | Page.Free | Page.Large_tail _ -> assert false
+    in
+    if not pointer_free then begin
+      let seg = Heap.segment t.heap in
+      Segment.iter_words seg ~alignment:t.config.Config.alignment ~lo:base
+        ~hi:(Addr.add base size)
+        (fun _addr value -> consider t value)
+    end
+
+  let drain t =
+    while t.sp > 0 do
+      t.sp <- t.sp - 1;
+      scan_object t t.stack.(t.sp)
+    done
+
+  let mark_value t value =
+    consider t value;
+    drain t
+
+  let scan_range t ~mem range =
+    let { Roots.lo; hi; label = _ } = range in
+    match Mem.find mem lo with
+    | None -> ()
+    | Some seg ->
+        Segment.iter_words seg ~alignment:t.config.Config.alignment ~lo ~hi (fun _addr value ->
+            consider t value)
+
+  let recover_from_overflow t =
+    while t.overflowed do
+      t.overflowed <- false;
+      Heap.iter_committed t.heap (fun index p ->
+          (match p with
+          | Page.Small s ->
+              let base = Addr.to_int (Heap.page_addr t.heap index) + s.Page.first_offset in
+              for obj = 0 to s.Page.n_objects - 1 do
+                if Bitset.mem s.Page.mark obj then scan_object t (base + (obj * s.Page.object_bytes))
+              done
+          | Page.Large_head l ->
+              if l.Page.l_marked then scan_object t (Addr.to_int (Heap.page_addr t.heap index))
+          | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ());
+          drain t)
+    done
+
+  let run t roots ~mem =
+    clear_marks t.heap;
+    t.sp <- 0;
+    t.overflowed <- false;
+    Blacklist.begin_cycle t.blacklist;
+    List.iter
+      (fun (_, values) ->
+        Array.iter
+          (fun v ->
+            consider t v;
+            drain t)
+          values)
+      (Roots.current_registers roots);
+    List.iter
+      (fun range ->
+        scan_range t ~mem range;
+        drain t)
+      (Roots.current_ranges roots);
+    recover_from_overflow t
+end

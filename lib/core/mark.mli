@@ -15,7 +15,13 @@
 
     The recursion is realised with an explicit mark stack; "fields" are
     every word of the object at the configured alignment, since the
-    collector has no layout information. *)
+    collector has no layout information.
+
+    Two implementations share one marker state: the default fast path
+    (flat page-descriptor rows from {!Heap.desc}, a one-entry header
+    cache, closure-free endianness-specialized scan loops, displacement
+    bitmasks) and the pre-optimization {!Reference} transcription, kept
+    as the oracle the differential tests pin the fast path against. *)
 
 open Cgc_vm
 
@@ -44,3 +50,13 @@ val mark_value : t -> int -> unit
 (** Feed a single word value to the marker and drain the mark stack —
     exposed for tests and for the retention harness's injected false
     references. *)
+
+(** The pre-optimization marker, running against the same state ([t]),
+    page table, blacklist and statistics.  Produces bit-identical mark
+    bitmaps, blacklists and counters to the fast path (modulo
+    [Stats.header_cache_hits], which only the fast path touches); the
+    benchmark suite reports the throughput ratio between the two. *)
+module Reference : sig
+  val run : t -> Roots.t -> mem:Mem.t -> unit
+  val mark_value : t -> int -> unit
+end

@@ -25,6 +25,26 @@ type t =
   | Large_head of large
   | Large_tail of { head_index : int }
 
+(* Kind codes for the heap's flat descriptor table: the mark-phase fast
+   path reads these from a byte array instead of matching the variant. *)
+let kind_uncommitted = 0
+let kind_free = 1
+let kind_small = 2
+let kind_large_head = 3
+let kind_large_tail = 4
+
+let kind_code = function
+  | Uncommitted -> kind_uncommitted
+  | Free -> kind_free
+  | Small _ -> kind_small
+  | Large_head _ -> kind_large_head
+  | Large_tail _ -> kind_large_tail
+
+(* A placeholder for descriptor rows of pages that carry no large
+   object; shared, and never meaningfully mutated. *)
+let dummy_large =
+  { n_pages = 0; object_bytes = 0; l_pointer_free = true; l_allocated = false; l_marked = false }
+
 let make_small ~granules ~object_bytes ~pointer_free ~first_offset ~n_objects =
   Small
     {

@@ -33,6 +33,24 @@ type t =
   | Large_head of large
   | Large_tail of { head_index : int }
 
+(** {1 Kind codes}
+
+    Small-integer encodings of the variant's constructor, stored in the
+    heap's flat descriptor table so the scan fast path can dispatch on a
+    byte-array load instead of a variant match. *)
+
+val kind_uncommitted : int
+val kind_free : int
+val kind_small : int
+val kind_large_head : int
+val kind_large_tail : int
+
+val kind_code : t -> int
+
+val dummy_large : large
+(** Shared placeholder for descriptor rows of pages that carry no large
+    object.  Never meaningfully mutated. *)
+
 val make_small :
   granules:int -> object_bytes:int -> pointer_free:bool -> first_offset:int -> n_objects:int -> t
 

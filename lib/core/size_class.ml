@@ -2,6 +2,7 @@ type t = {
   granule : int;
   page_size : int;
   max_small : int;
+  disp_mask : int array;
 }
 
 let create (config : Config.t) =
@@ -9,9 +10,12 @@ let create (config : Config.t) =
     granule = config.Config.granule;
     page_size = config.Config.page_size;
     max_small = Config.max_small_bytes config;
+    disp_mask = Config.displacement_mask config;
   }
 
 let granule t = t.granule
+let displacement_mask t = t.disp_mask
+let displacement_ok t d = Config.displacement_in_mask t.disp_mask ~granule:t.granule d
 let max_small_bytes t = t.max_small
 let is_small t bytes = bytes <= t.max_small
 

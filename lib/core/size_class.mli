@@ -12,6 +12,14 @@ val create : Config.t -> t
 val granule : t -> int
 (** Granule size in bytes. *)
 
+val displacement_mask : t -> int array
+(** The config's registered-displacement bitmask (see
+    {!Config.displacement_mask}), precomputed at creation. *)
+
+val displacement_ok : t -> int -> bool
+(** O(1) test that a byte displacement into an object is a recognized
+    interior-pointer offset (0, or a registered displacement). *)
+
 val max_small_bytes : t -> int
 
 val is_small : t -> int -> bool

@@ -4,6 +4,7 @@ type t = {
   mutable valid_refs : int;
   mutable false_refs : int;
   mutable objects_marked : int;
+  mutable header_cache_hits : int;
   mutable bytes_allocated : int;
   mutable objects_allocated : int;
   mutable bytes_freed : int;
@@ -26,6 +27,7 @@ let create () =
     valid_refs = 0;
     false_refs = 0;
     objects_marked = 0;
+    header_cache_hits = 0;
     bytes_allocated = 0;
     objects_allocated = 0;
     bytes_freed = 0;
@@ -47,6 +49,7 @@ let reset t =
   t.valid_refs <- 0;
   t.false_refs <- 0;
   t.objects_marked <- 0;
+  t.header_cache_hits <- 0;
   t.bytes_allocated <- 0;
   t.objects_allocated <- 0;
   t.bytes_freed <- 0;
@@ -70,6 +73,7 @@ let pp ppf t =
      valid refs      %d@,\
      false refs      %d@,\
      objects marked  %d@,\
+     header cache    %d hits@,\
      allocated       %d objects / %d bytes@,\
      freed           %d objects / %d bytes@,\
      live            %d objects / %d bytes@,\
@@ -77,7 +81,8 @@ let pp ppf t =
      mark overflows  %d@,\
      blacklist       %d alloc checks, %d pages rejected@,\
      gc time         %.6fs (mark %.6fs, sweep %.6fs)@]"
-    t.collections t.words_scanned t.valid_refs t.false_refs t.objects_marked t.objects_allocated
+    t.collections t.words_scanned t.valid_refs t.false_refs t.objects_marked t.header_cache_hits
+    t.objects_allocated
     t.bytes_allocated t.objects_freed t.bytes_freed t.live_objects t.live_bytes t.heap_expansions
     t.mark_stack_overflows t.blacklist_alloc_checks t.blacklist_rejected_pages
     t.total_gc_seconds t.mark_seconds t.sweep_seconds

@@ -11,6 +11,8 @@ type t = {
   mutable valid_refs : int;  (** scanned values that named a live object *)
   mutable false_refs : int;  (** scanned values inside the heap region that named no object *)
   mutable objects_marked : int;
+  mutable header_cache_hits : int;
+      (** marker header lookups answered by the one-entry page cache *)
   mutable bytes_allocated : int;  (** cumulative *)
   mutable objects_allocated : int;
   mutable bytes_freed : int;

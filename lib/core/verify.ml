@@ -39,6 +39,57 @@ let check_page_table heap issues =
     end
   done
 
+(* Audit the flat descriptor table against the page variants.  The scan
+   fast path trusts these rows completely, so any drift (a page-state
+   transition that bypassed [Heap.set_page]) is a marker correctness bug
+   waiting to happen.  Bitsets and large records must be physically the
+   objects held by the variant — value equality is not enough, since the
+   fast path mutates them through the descriptor. *)
+let check_descriptors heap issues =
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  let d = Heap.desc heap in
+  for i = 0 to Heap.n_pages heap - 1 do
+    let p = Heap.page heap i in
+    let kind = Char.code (Bytes.get d.Heap.d_kind i) in
+    if kind <> Page.kind_code p then
+      add "descriptor kind %d for page %d disagrees with the page table's %d" kind i
+        (Page.kind_code p);
+    let pointer_free = Bytes.get d.Heap.d_pointer_free i <> '\000' in
+    match p with
+    | Page.Uncommitted | Page.Free ->
+        if d.Heap.d_head.(i) <> i then add "descriptor head of empty page %d is %d" i d.Heap.d_head.(i);
+        if not pointer_free then add "descriptor for empty page %d claims scannable contents" i
+    | Page.Small s ->
+        if d.Heap.d_object_bytes.(i) <> s.Page.object_bytes then
+          add "descriptor object_bytes %d for small page %d (expected %d)" d.Heap.d_object_bytes.(i)
+            i s.Page.object_bytes;
+        if d.Heap.d_first_offset.(i) <> s.Page.first_offset then
+          add "descriptor first_offset %d for small page %d (expected %d)" d.Heap.d_first_offset.(i)
+            i s.Page.first_offset;
+        if d.Heap.d_n_objects.(i) <> s.Page.n_objects then
+          add "descriptor n_objects %d for small page %d (expected %d)" d.Heap.d_n_objects.(i) i
+            s.Page.n_objects;
+        if d.Heap.d_head.(i) <> i then add "descriptor head of small page %d is %d" i d.Heap.d_head.(i);
+        if pointer_free <> s.Page.pointer_free then
+          add "descriptor pointer_free flag for small page %d disagrees" i;
+        if not (d.Heap.d_alloc.(i) == s.Page.alloc) then
+          add "descriptor alloc bitset of small page %d is not the page's" i;
+        if not (d.Heap.d_mark.(i) == s.Page.mark) then
+          add "descriptor mark bitset of small page %d is not the page's" i
+    | Page.Large_head l ->
+        if d.Heap.d_object_bytes.(i) <> l.Page.object_bytes then
+          add "descriptor object_bytes %d for large head %d (expected %d)" d.Heap.d_object_bytes.(i)
+            i l.Page.object_bytes;
+        if d.Heap.d_head.(i) <> i then add "descriptor head of large head %d is %d" i d.Heap.d_head.(i);
+        if pointer_free <> l.Page.l_pointer_free then
+          add "descriptor pointer_free flag for large head %d disagrees" i;
+        if not (d.Heap.d_large.(i) == l) then
+          add "descriptor large record of head %d is not the page's" i
+    | Page.Large_tail { head_index } ->
+        if d.Heap.d_head.(i) <> head_index then
+          add "descriptor head %d of tail page %d (expected %d)" d.Heap.d_head.(i) i head_index
+  done
+
 let check_free_lists gc issues =
   let heap = Gc.heap gc in
   let free_lists = Gc.Internal.free_lists gc in
@@ -92,6 +143,7 @@ let check_live_accounting gc issues =
 let check gc =
   let issues = ref [] in
   check_page_table (Gc.heap gc) issues;
+  check_descriptors (Gc.heap gc) issues;
   check_free_lists gc issues;
   check_finalizers gc issues;
   check_live_accounting gc issues;

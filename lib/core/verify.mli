@@ -12,6 +12,9 @@ val check : Gc.t -> string list
     - every large object's tail pages point back at its head and lie
       within the object's extent;
     - small-page geometry fits inside the page;
+    - the flat descriptor table ({!Heap.desc}) agrees row-by-row with
+      the page variants, including physical identity of the shared
+      bitsets and large-object records the scan fast path mutates;
     - every free-list entry addresses an unallocated, correctly aligned
       slot of a page of the matching size class and kind, and no slot
       appears twice;

@@ -20,6 +20,15 @@ let add t i =
   let w = i / bits_per_word in
   t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
 
+(* Hot-path variants: the caller has already established 0 <= i < n
+   (e.g. an object index validated against the page's object count). *)
+let[@inline] unsafe_mem t i =
+  Array.unsafe_get t.words (i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let[@inline] unsafe_add t i =
+  let w = i / bits_per_word in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl (i mod bits_per_word)))
+
 let remove t i =
   check t i;
   let w = i / bits_per_word in
@@ -28,9 +37,15 @@ let remove t i =
 let set t i b = if b then add t i else remove t i
 let clear t = Array.fill t.words 0 (Array.length t.words) 0
 
+(* Kernighan's loop: one iteration per set bit, not per bit position. *)
 let popcount x =
-  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
-  go 0 x
+  let n = ref 0 in
+  let x = ref x in
+  while !x <> 0 do
+    incr n;
+    x := !x land (!x - 1)
+  done;
+  !n
 
 let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
@@ -40,16 +55,69 @@ let union_into ~dst src =
   if dst.n <> src.n then invalid_arg "Bitset.union_into: universe mismatch";
   Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
 
-let iter f t =
-  for w = 0 to Array.length t.words - 1 do
-    let word = t.words.(w) in
-    if word <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if word land (1 lsl b) <> 0 then begin
-          let i = (w * bits_per_word) + b in
-          if i < t.n then f i
-        end
+(* Index of the lowest set bit of a non-zero word, by binary search —
+   constant work instead of a walk over up to 62 bit positions. *)
+let[@inline] ntz x =
+  let n = ref 0 in
+  let x = ref x in
+  if !x land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    x := !x lsr 32
+  end;
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then n := !n + 1;
+  !n
+
+(* Visit members in ascending order: whole zero words are skipped with
+   one comparison, and each set bit costs one trailing-zero extraction
+   ([word land (word - 1)] strips the bit just visited). *)
+let iter_set t f =
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let word = ref (Array.unsafe_get words w) in
+    if !word <> 0 then begin
+      let base = w * bits_per_word in
+      while !word <> 0 do
+        f (base + ntz !word);
+        word := !word land (!word - 1)
       done
+    end
+  done
+
+(* Members above [n] cannot exist (add bounds-checks), so no filtering
+   against [t.n] is needed here. *)
+let iter f t = iter_set t f
+
+let iter_clear t f =
+  let words = t.words in
+  let last = Array.length words - 1 in
+  for w = 0 to last do
+    (* complement within the word's valid span *)
+    let lo = w * bits_per_word in
+    let span = min bits_per_word (t.n - lo) in
+    if span > 0 then begin
+      let mask = if span = bits_per_word then -1 lsr 1 else (1 lsl span) - 1 in
+      let word = ref (lnot (Array.unsafe_get words w) land mask) in
+      while !word <> 0 do
+        f (lo + ntz !word);
+        word := !word land (!word - 1)
+      done
+    end
   done
 
 let fold f init t =
@@ -57,14 +125,52 @@ let fold f init t =
   iter (fun i -> acc := f !acc i) t;
   !acc
 
+(* [lo, hi) restricted to a word: bits [a, b) of the word's value. *)
+let[@inline] range_mask a b = if b - a >= bits_per_word then -1 lsr 1 else ((1 lsl (b - a)) - 1) lsl a
+
 let exists_in_range t ~lo ~hi =
   let lo = max lo 0 and hi = min hi t.n in
-  let rec go i = if i >= hi then false else if mem t i then true else go (i + 1) in
-  go lo
+  if lo >= hi then false
+  else begin
+    let w_lo = lo / bits_per_word and w_hi = (hi - 1) / bits_per_word in
+    let found = ref false in
+    let w = ref w_lo in
+    while (not !found) && !w <= w_hi do
+      let a = if !w = w_lo then lo - (w_lo * bits_per_word) else 0 in
+      let b = if !w = w_hi then hi - (w_hi * bits_per_word) else bits_per_word in
+      if t.words.(!w) land range_mask a b <> 0 then found := true;
+      incr w
+    done;
+    !found
+  end
 
 let next_clear t i =
-  let rec go i = if i >= t.n then None else if mem t i then go (i + 1) else Some i in
-  go (max i 0)
+  let i = max i 0 in
+  if i >= t.n then None
+  else begin
+    let result = ref None in
+    let w = ref (i / bits_per_word) in
+    let nw = Array.length t.words in
+    let first_mask = range_mask (i - (!w * bits_per_word)) bits_per_word in
+    let probe w_index mask =
+      (* clear bits of the word, restricted to positions of interest *)
+      let clear = lnot t.words.(w_index) land mask in
+      if clear <> 0 then begin
+        let j = (w_index * bits_per_word) + ntz clear in
+        if j < t.n then result := Some j else result := None;
+        true
+      end
+      else false
+    in
+    if not (probe !w first_mask) then begin
+      incr w;
+      while !result = None && !w < nw do
+        if not (probe !w (-1 lsr 1)) then incr w
+        else if !result = None then w := nw (* past-n clear bit: stop *)
+      done
+    end;
+    !result
+  end
 
 let equal a b = a.n = b.n && Array.for_all2 ( = ) a.words b.words
 

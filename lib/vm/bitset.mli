@@ -16,6 +16,13 @@ val mem : t -> int -> bool
 
 val add : t -> int -> unit
 
+val unsafe_mem : t -> int -> bool
+(** {!mem} without the bounds check — for hot paths that have already
+    validated the index (e.g. against a page's object count). *)
+
+val unsafe_add : t -> int -> unit
+(** {!add} without the bounds check; same caller obligation. *)
+
 val remove : t -> int -> unit
 
 val set : t -> int -> bool -> unit
@@ -36,6 +43,16 @@ val union_into : dst:t -> t -> unit
 
 val iter : (int -> unit) -> t -> unit
 (** Iterate over members in increasing order. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** Same as {!iter} with the hot-path argument order: visits members in
+    increasing order by scanning whole words and extracting trailing-zero
+    runs, so sparse sets cost one test per word plus one step per member.
+    Used by the sweeper and by mark-stack overflow recovery. *)
+
+val iter_clear : t -> (int -> unit) -> unit
+(** Visit the non-members of the universe [\[0, n)] in increasing
+    order — the word-masked complement of {!iter_set}. *)
 
 val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
 

@@ -88,11 +88,40 @@ let read_string t a ~len =
   let off = check_span t a len in
   Bytes.sub_string t.bytes off len
 
-let iter_words t ?(alignment = 4) ~lo ~hi f =
+(* --- conservative-scan fast path ---------------------------------- *)
+
+(* Unchecked 32-bit reads assembled from [Bytes.unsafe_get]: the scan
+   loops validate the whole [lo, hi) range once (see [clamp_words]) and
+   then touch every word without per-access bounds checks or [Int32]
+   boxing. *)
+let[@inline] unsafe_word_le bytes off =
+  Char.code (Bytes.unsafe_get bytes off)
+  lor (Char.code (Bytes.unsafe_get bytes (off + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get bytes (off + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get bytes (off + 3)) lsl 24)
+
+let[@inline] unsafe_word_be bytes off =
+  (Char.code (Bytes.unsafe_get bytes off) lsl 24)
+  lor (Char.code (Bytes.unsafe_get bytes (off + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get bytes (off + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get bytes (off + 3))
+
+let unsafe_bytes t = t.bytes
+
+(* The single bounds check of a scan: clamp [lo, hi) to the segment and
+   re-align [lo] upward afterwards, so that a clamp against an unaligned
+   segment base can never yield word reads off the requested alignment
+   grid (the grid is absolute: addresses congruent to 0 mod alignment). *)
+let clamp_words t ~alignment ~lo ~hi =
   if alignment <> 1 && alignment <> 2 && alignment <> 4 then
-    invalid_arg "Segment.iter_words: alignment must be 1, 2 or 4";
-  let lo = max (Addr.to_int (Addr.align_up lo alignment)) (Addr.to_int t.base) in
+    invalid_arg "Segment.clamp_words: alignment must be 1, 2 or 4";
+  let lo = max (Addr.to_int lo) (Addr.to_int t.base) in
+  let lo = Addr.to_int (Addr.align_up (Addr.of_int lo) alignment) in
   let hi = min (Addr.to_int hi) (Addr.to_int (limit t)) in
+  (lo, hi)
+
+let iter_words t ?(alignment = 4) ~lo ~hi f =
+  let lo, hi = clamp_words t ~alignment ~lo ~hi in
   (* Hot path of conservative scanning: read straight out of the backing
      bytes without re-validating each address. *)
   let bytes = t.bytes in
@@ -101,10 +130,8 @@ let iter_words t ?(alignment = 4) ~lo ~hi f =
   let a = ref lo in
   while !a + 4 <= hi do
     let off = !a - base in
-    let v =
-      if is_little then Bytes.get_int32_le bytes off else Bytes.get_int32_be bytes off
-    in
-    f !a (Int32.to_int v land 0xFFFFFFFF);
+    let v = if is_little then unsafe_word_le bytes off else unsafe_word_be bytes off in
+    f !a v;
     a := !a + alignment
   done
 

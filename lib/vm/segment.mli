@@ -54,8 +54,33 @@ val iter_words : t -> ?alignment:int -> lo:Addr.t -> hi:Addr.t -> (Addr.t -> int
 (** [iter_words t ~alignment ~lo ~hi f] applies [f addr word] to every
     32-bit word whose first byte lies in [\[lo, hi - 4\]] at the given
     alignment granularity (default 4; 2 and 1 model collectors forced to
-    consider unaligned pointers).  [lo] is first rounded up to the
-    requested alignment. *)
+    consider unaligned pointers).  [lo] is clamped to the segment and
+    then rounded up to the requested alignment (the alignment grid is
+    absolute), so a clamp against an unaligned segment base cannot
+    produce misaligned reads. *)
+
+(** {1 Scan fast path}
+
+    The pieces from which closure-free scan loops are built (see
+    {!Cgc.Mark}): clamp the range once, then read words straight out of
+    the backing bytes with no per-word bounds check or boxing. *)
+
+val clamp_words : t -> alignment:int -> lo:Addr.t -> hi:Addr.t -> int * int
+(** [(lo', hi')]: the scan range clamped to the segment, with [lo']
+    re-aligned upward after clamping.  Words at [lo', lo' + alignment,
+    ...] with [addr + 4 <= hi'] are all safely readable — this is the
+    one bounds check a whole-range scan needs. *)
+
+val unsafe_bytes : t -> Bytes.t
+(** The backing store.  Offsets are [addr - base t].  Only for scan
+    loops that have validated their range with {!clamp_words}. *)
+
+val unsafe_word_le : Bytes.t -> int -> int
+(** Unchecked little-endian 32-bit read at a byte offset, assembled from
+    [Bytes.unsafe_get]. *)
+
+val unsafe_word_be : Bytes.t -> int -> int
+(** Unchecked big-endian 32-bit read at a byte offset. *)
 
 val words : t -> int
 (** Number of aligned words in the segment. *)

@@ -1,0 +1,216 @@
+(* Differential tests for the mark-phase fast path.
+
+   Two deterministically-identical collector instances are built from
+   one random scenario; one is marked with the fast path
+   ([Gc.Internal.run_mark]), the other with the pre-optimization
+   reference transcription ([Gc.Internal.run_mark_reference]).  Mark
+   bitmaps, blacklisted pages and the marking statistics must be
+   bit-identical — across alignments 1/2/4, interior pointers on/off,
+   registered displacement lists, bounded mark stacks (overflow
+   recovery) and hashed blacklists.  [Stats.header_cache_hits] is
+   excluded: only the fast path has a header cache. *)
+
+open Cgc_vm
+module Gc = Cgc.Gc
+module Config = Cgc.Config
+module Heap = Cgc.Heap
+module Page = Cgc.Page
+module Blacklist = Cgc.Blacklist
+module Stats = Cgc.Stats
+
+type scenario = {
+  s_sizes : int array;  (* words per object *)
+  s_edges : (int * int * int) list;  (* (src, field, dst) *)
+  s_roots : int list;
+  s_junk : int list;  (* raw word values written into the root segment *)
+  s_bytes : string;  (* raw tail bytes, scanned at every alignment *)
+  s_alignment : int;
+  s_interior : bool;
+  s_disps : int list;
+  s_limit : int option;  (* mark_stack_limit *)
+  s_hashed : bool;
+  s_big_endian : bool;
+}
+
+let heap_base = 0x400000
+let heap_bytes = 2 * 1024 * 1024
+
+let junk_value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* anywhere in the 32-bit space *)
+        (2, map (fun v -> v land 0xFFFFFFFF) (int_bound max_int));
+        (* in the vicinity of the heap: interior, unaligned, off-by-one
+           values — the classifier's hard cases *)
+        (5, map (fun off -> heap_base + off) (int_bound (heap_bytes - 1)));
+        (* straddling the heap's bounds *)
+        (1, oneofl [ heap_base - 4; heap_base - 1; heap_base; heap_base + heap_bytes - 1; heap_base + heap_bytes ]);
+        (1, return 0);
+      ])
+
+let scenario_gen =
+  QCheck.Gen.(
+    int_range 2 30 >>= fun n ->
+    array_size (return n) (frequency [ (9, int_range 1 6); (1, return 1500) ]) >>= fun sizes ->
+    list_size (int_bound (2 * n)) (triple (int_bound (n - 1)) (int_bound 3) (int_bound (n - 1)))
+    >>= fun raw_edges ->
+    list_size (int_bound (max 1 (n / 2))) (int_bound (n - 1)) >>= fun roots ->
+    list_size (int_bound 48) junk_value_gen >>= fun junk ->
+    string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 160) >>= fun bytes ->
+    oneofl [ 1; 2; 4 ] >>= fun alignment ->
+    bool >>= fun interior ->
+    oneofl [ []; [ 4 ]; [ 8 ]; [ 4; 12 ]; [ 8; 16; 24 ] ] >>= fun disps ->
+    oneofl [ None; Some 16; Some 64 ] >>= fun limit ->
+    bool >>= fun hashed ->
+    bool >>= fun big_endian ->
+    let edges =
+      List.filter_map (fun (s, f, d) -> if f < sizes.(s) then Some (s, f, d) else None) raw_edges
+    in
+    return
+      {
+        s_sizes = sizes;
+        s_edges = edges;
+        s_roots = roots;
+        s_junk = junk;
+        s_bytes = bytes;
+        s_alignment = alignment;
+        s_interior = interior;
+        s_disps = disps;
+        s_limit = limit;
+        s_hashed = hashed;
+        s_big_endian = big_endian;
+      })
+
+let build s =
+  let mem =
+    Mem.create ~endian:(if s.s_big_endian then Endian.Big else Endian.Little) ()
+  in
+  let data =
+    Mem.map mem ~name:"roots" ~kind:Segment.Static_data ~base:(Addr.of_int 0x10000) ~size:0x1000
+  in
+  let config =
+    {
+      Config.default with
+      Config.alignment = s.s_alignment;
+      interior_pointers = s.s_interior;
+      valid_displacements = s.s_disps;
+      mark_stack_limit = s.s_limit;
+      blacklist_buckets = (if s.s_hashed then Some 61 else None);
+      initial_pages = 16;
+    }
+  in
+  let gc = Gc.create ~config mem ~base:(Addr.of_int heap_base) ~max_bytes:heap_bytes () in
+  Gc.set_auto_collect gc false;
+  Gc.add_static_root gc ~lo:(Segment.base data) ~hi:(Segment.limit data) ~label:"roots";
+  let objs = Array.map (fun words -> Gc.allocate gc (4 * words)) s.s_sizes in
+  List.iter (fun (src, f, dst) -> Gc.set_field gc objs.(src) f (Addr.to_int objs.(dst))) s.s_edges;
+  List.iteri
+    (fun i r ->
+      Segment.write_word data (Addr.add (Segment.base data) (4 * i)) (Addr.to_int objs.(r)))
+    s.s_roots;
+  (* junk words after the root slots, raw bytes near the end: both are
+     scanned as roots at the configured alignment *)
+  List.iteri
+    (fun i v -> Segment.write_word data (Addr.add (Segment.base data) (0x400 + (4 * i))) v)
+    s.s_junk;
+  Segment.blit_string data (Addr.add (Segment.base data) 0x800) s.s_bytes;
+  gc
+
+(* Everything the mark phase is allowed to touch, in comparable form. *)
+let mark_state gc =
+  let heap = Gc.heap gc in
+  let marks = ref [] in
+  Heap.iter_committed heap (fun i p ->
+      match p with
+      | Page.Small small ->
+          let bits = List.rev (Bitset.fold (fun acc b -> b :: acc) [] small.Page.mark) in
+          marks := (i, bits) :: !marks
+      | Page.Large_head l -> marks := (i, [ (if l.Page.l_marked then 1 else 0) ]) :: !marks
+      | Page.Free | Page.Uncommitted | Page.Large_tail _ -> ());
+  let black = ref [] in
+  Blacklist.iter (fun p -> black := p :: !black) (Gc.blacklist gc);
+  let st = Gc.stats gc in
+  ( List.rev !marks,
+    List.rev !black,
+    ( st.Stats.words_scanned,
+      st.Stats.valid_refs,
+      st.Stats.false_refs,
+      st.Stats.objects_marked,
+      st.Stats.mark_stack_overflows ) )
+
+let scenario_print s =
+  Printf.sprintf
+    "objects=%d edges=%d roots=%d junk=%d bytes=%d align=%d interior=%b disps=[%s] limit=%s \
+     hashed=%b big=%b"
+    (Array.length s.s_sizes) (List.length s.s_edges) (List.length s.s_roots)
+    (List.length s.s_junk) (String.length s.s_bytes) s.s_alignment s.s_interior
+    (String.concat ";" (List.map string_of_int s.s_disps))
+    (match s.s_limit with None -> "none" | Some l -> string_of_int l)
+    s.s_hashed s.s_big_endian
+
+let scenario_arb = QCheck.make scenario_gen ~print:scenario_print
+
+let prop_fast_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"fast path == reference (marks, blacklist, stats)"
+    scenario_arb
+    (fun s ->
+      let gc_fast = build s and gc_ref = build s in
+      Gc.Internal.run_mark gc_fast;
+      Gc.Internal.run_mark_reference gc_ref;
+      let first = mark_state gc_fast = mark_state gc_ref in
+      (* a second cycle ages the blacklist (begin_cycle rotation) and
+         re-marks from already-populated state *)
+      Gc.Internal.run_mark gc_fast;
+      Gc.Internal.run_mark_reference gc_ref;
+      first && mark_state gc_fast = mark_state gc_ref)
+
+(* Collections driven end-to-end by the fast path keep the heap sound:
+   a full collect (mark + sweep) on the fast instance frees exactly what
+   a collect on the reference-marked instance frees. *)
+let prop_fast_collect_matches_reference_collect =
+  QCheck.Test.make ~count:150 ~name:"sweep after fast mark == sweep after reference mark"
+    scenario_arb
+    (fun s ->
+      let gc_fast = build s and gc_ref = build s in
+      Gc.Internal.run_mark gc_fast;
+      let sweep_fast = Gc.Internal.run_sweep gc_fast in
+      Gc.Internal.run_mark_reference gc_ref;
+      let sweep_ref = Gc.Internal.run_sweep gc_ref in
+      sweep_fast = sweep_ref
+      && Cgc.Verify.check gc_fast = []
+      && Cgc.Verify.check gc_ref = [])
+
+(* The per-value entry point agrees with the pure classifier: feeding a
+   word through the marker marks exactly the object [classify] names. *)
+let prop_mark_value_matches_classify =
+  QCheck.Test.make ~count:200 ~name:"mark_value marks exactly what classify names"
+    (QCheck.make
+       QCheck.Gen.(pair scenario_gen (list_size (int_bound 32) junk_value_gen)))
+    (fun (s, values) ->
+      let gc = build s in
+      let heap = Gc.heap gc and config = Gc.config gc in
+      let marker = Gc.Internal.marker gc in
+      List.for_all
+        (fun v ->
+          match Cgc.Mark.classify heap config v with
+          | Cgc.Mark.Valid { base; _ } ->
+              Cgc.Mark.mark_value marker v;
+              Gc.Internal.is_marked gc base
+          | Cgc.Mark.False_in_heap { page } ->
+              Cgc.Mark.mark_value marker v;
+              Blacklist.is_black (Gc.blacklist gc) page
+          | Cgc.Mark.Outside ->
+              Cgc.Mark.mark_value marker v;
+              true)
+        values)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_fast_matches_reference;
+      prop_fast_collect_matches_reference_collect;
+      prop_mark_value_matches_classify;
+    ]
+
+let () = Alcotest.run "mark-diff" [ ("differential", suite) ]

@@ -129,6 +129,28 @@ let prop_size_class_rounding =
       let rounded = Size_class.bytes_of_granules sc g in
       rounded >= bytes && rounded - bytes < Size_class.granule sc)
 
+(* --- displacement bitmasks --- *)
+
+(* The scan fast path answers "is this displacement a registered
+   interior-pointer offset?" from a bitmask; it must agree with the
+   config's list-based definition everywhere, including unaligned and
+   out-of-range probes. *)
+let prop_displacement_mask =
+  QCheck.Test.make ~count ~name:"displacement bitmask agrees with the displacement list"
+    QCheck.(pair (small_list (int_bound 120)) (small_list (int_bound 600)))
+    (fun (raw, probes) ->
+      let disps = List.sort_uniq compare (List.map (fun d -> 4 * d) raw) in
+      let config = { Config.default with Config.valid_displacements = disps } in
+      let mask = Config.displacement_mask config in
+      let sc = Size_class.create config in
+      let expect d = d = 0 || List.mem d disps in
+      let agree d =
+        Config.displacement_in_mask mask ~granule:4 d = expect d
+        && Size_class.displacement_ok sc d = expect d
+      in
+      List.for_all agree (0 :: disps)
+      && List.for_all (fun p -> agree p && agree (p + 1) && agree (p + 2) && agree (4 * p)) probes)
+
 (* --- free lists --- *)
 
 let prop_free_list_address_ordered =
@@ -568,6 +590,7 @@ let suite =
       prop_segment_endian_assembly;
       prop_rng_bound;
       prop_size_class_rounding;
+      prop_displacement_mask;
       prop_free_list_address_ordered;
       prop_gc_reachability_exact;
       prop_gc_idempotent;

@@ -151,6 +151,9 @@ let soak_hashed_blacklist =
 let soak_unaligned =
   soak ~seed:505 ~config:{ base_config with Config.alignment = 1 } ~steps:3000 ~tag:"unaligned"
 
+let soak_halfword =
+  soak ~seed:909 ~config:{ base_config with Config.alignment = 2 } ~steps:3000 ~tag:"halfword"
+
 let soak_base_only =
   soak ~seed:606
     ~config:{ base_config with Config.interior_pointers = false; valid_displacements = [ 4 ] }
@@ -221,6 +224,7 @@ let () =
           Alcotest.test_case "bounded mark stack" `Slow soak_bounded_stack;
           Alcotest.test_case "hashed blacklist" `Slow soak_hashed_blacklist;
           Alcotest.test_case "unaligned scanning" `Slow soak_unaligned;
+          Alcotest.test_case "halfword scanning" `Slow soak_halfword;
           Alcotest.test_case "base-only + displacement" `Slow soak_base_only;
           Alcotest.test_case "generational" `Slow soak_generational;
           Alcotest.test_case "verified every step" `Slow soak_verified_steps;

@@ -130,6 +130,52 @@ let test_bitset_bounds () =
   Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index 10 out of [0,10)")
     (fun () -> Bitset.add s 10)
 
+(* The storage word is 62 bits, so indexes 61/62 and 123/124 sit on
+   word boundaries — where the word-masked range scans and iterators
+   have their edge cases. *)
+let test_bitset_word_boundaries () =
+  let s = Bitset.create 125 in
+  List.iter (Bitset.add s) [ 61; 62; 123; 124 ];
+  check bool "61 member" true (Bitset.mem s 61);
+  check bool "62 member" true (Bitset.mem s 62);
+  check bool "60 not member" false (Bitset.mem s 60);
+  check bool "63 not member" false (Bitset.mem s 63);
+  check bool "exists [61,62)" true (Bitset.exists_in_range s ~lo:61 ~hi:62);
+  check bool "exists [62,63)" true (Bitset.exists_in_range s ~lo:62 ~hi:63);
+  check bool "exists across the boundary [60,63)" true (Bitset.exists_in_range s ~lo:60 ~hi:63);
+  check bool "none in [63,123)" false (Bitset.exists_in_range s ~lo:63 ~hi:123);
+  check bool "exists [123,125)" true (Bitset.exists_in_range s ~lo:123 ~hi:125);
+  check bool "empty range" false (Bitset.exists_in_range s ~lo:62 ~hi:62);
+  check (Alcotest.option int) "next_clear runs over the boundary" (Some 63) (Bitset.next_clear s 61);
+  check (Alcotest.option int) "next_clear at a clear index" (Some 63) (Bitset.next_clear s 63);
+  check (Alcotest.option int) "next_clear exhausted at n" None (Bitset.next_clear s 123);
+  check (Alcotest.option int) "next_clear from the last index" None (Bitset.next_clear s 124)
+
+let test_bitset_word_iter () =
+  let n = 130 in
+  let s = Bitset.create n in
+  let members = [ 0; 1; 61; 62; 63; 124; 129 ] in
+  List.iter (Bitset.add s) members;
+  let seen = ref [] in
+  Bitset.iter_set s (fun i -> seen := i :: !seen);
+  check (Alcotest.list int) "iter_set visits members ascending" members (List.rev !seen);
+  let clear = ref [] in
+  Bitset.iter_clear s (fun i -> clear := i :: !clear);
+  let clear = List.rev !clear in
+  check int "iter_clear count" (n - List.length members) (List.length clear);
+  check bool "iter_clear ascending" true (List.sort compare clear = clear);
+  check bool "iter_clear disjoint from members" true
+    (List.for_all (fun i -> not (List.mem i members)) clear);
+  check bool "iter_clear stays below n" true (List.for_all (fun i -> i < n) clear);
+  (* a full word plus a partial word, all set: nothing is clear *)
+  let full = Bitset.create 63 in
+  for i = 0 to 62 do
+    Bitset.add full i
+  done;
+  let none = ref 0 in
+  Bitset.iter_clear full (fun _ -> incr none);
+  check int "no clear bits reported past n" 0 !none
+
 (* --- Segment --- *)
 
 let seg ?(endian = Endian.Little) ?(base = 0x1000) ?(size = 256) () =
@@ -191,6 +237,29 @@ let test_segment_iter_words_unaligned () =
   check int "alignment 2" ((256 - 2) / 2) (count 2);
   check int "alignment 1" (256 - 3) (count 1)
 
+(* Clamping [lo] against a segment whose base is not on the alignment
+   grid must re-align upward — the old code took [max lo base] and could
+   hand the scan loop a misaligned start. *)
+let test_segment_iter_words_unaligned_base () =
+  let s = seg ~base:0x1001 ~size:64 () in
+  let first alignment =
+    let r = ref None in
+    Segment.iter_words s ~alignment ~lo:(Addr.of_int 0x0FF0) ~hi:(Segment.limit s) (fun a _ ->
+        if !r = None then r := Some a);
+    !r
+  in
+  check (Alcotest.option int) "alignment 4 realigns past the base" (Some 0x1004) (first 4);
+  check (Alcotest.option int) "alignment 2 realigns past the base" (Some 0x1002) (first 2);
+  check (Alcotest.option int) "alignment 1 starts at the base" (Some 0x1001) (first 1);
+  let on_grid = ref true in
+  Segment.iter_words s ~alignment:4 ~lo:(Addr.of_int 0x0FF0) ~hi:(Segment.limit s) (fun a _ ->
+      if a land 3 <> 0 then on_grid := false);
+  check bool "every visited address on the absolute grid" true !on_grid;
+  check
+    (Alcotest.pair int int)
+    "clamp_words clamps and realigns" (0x1004, 0x1041)
+    (Segment.clamp_words s ~alignment:4 ~lo:(Addr.of_int 0x0FF0) ~hi:(Addr.of_int 0x2000))
+
 let test_segment_strings () =
   let s = seg () in
   Segment.blit_string s (Addr.of_int 0x1010) "hello";
@@ -219,6 +288,25 @@ let test_mem_map_and_find () =
   check bool "gap unmapped" true (Mem.find m (Addr.of_int 0x3000) = None);
   check bool "is_mapped" true (Mem.is_mapped m (Addr.of_int 0x1FFF));
   check bool "limit excluded" false (Mem.is_mapped m (Addr.of_int 0x2000))
+
+(* Boundary addresses of the segment map: first byte, limit-1, limit,
+   the byte below the base, and the gap between two segments. *)
+let test_mem_find_boundaries () =
+  let m = Mem.create () in
+  let a = Mem.map m ~name:"a" ~kind:Segment.Static_data ~base:(Addr.of_int 0x1000) ~size:0x1000 in
+  let b = Mem.map m ~name:"b" ~kind:Segment.Static_data ~base:(Addr.of_int 0x3000) ~size:0x100 in
+  let is seg = function
+    | Some found -> found == seg
+    | None -> false
+  in
+  check bool "first byte of a" true (is a (Mem.find m (Addr.of_int 0x1000)));
+  check bool "last byte of a" true (is a (Mem.find m (Addr.of_int 0x1FFF)));
+  check bool "limit of a excluded" true (Mem.find m (Addr.of_int 0x2000) = None);
+  check bool "byte below a" true (Mem.find m (Addr.of_int 0x0FFF) = None);
+  check bool "gap between a and b" true (Mem.find m (Addr.of_int 0x2800) = None);
+  check bool "first byte of b" true (is b (Mem.find m (Addr.of_int 0x3000)));
+  check bool "last byte of b" true (is b (Mem.find m (Addr.of_int 0x30FF)));
+  check bool "limit of b excluded" true (Mem.find m (Addr.of_int 0x3100) = None)
 
 let test_mem_overlap_rejected () =
   let m = Mem.create () in
@@ -322,6 +410,8 @@ let () =
           Alcotest.test_case "union" `Quick test_bitset_union;
           Alcotest.test_case "range queries" `Quick test_bitset_range_queries;
           Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "word boundaries" `Quick test_bitset_word_boundaries;
+          Alcotest.test_case "word-level iterators" `Quick test_bitset_word_iter;
         ] );
       ( "segment",
         [
@@ -332,12 +422,14 @@ let () =
           Alcotest.test_case "bounds" `Quick test_segment_bounds;
           Alcotest.test_case "iter words" `Quick test_segment_iter_words;
           Alcotest.test_case "iter words unaligned" `Quick test_segment_iter_words_unaligned;
+          Alcotest.test_case "iter words unaligned base" `Quick test_segment_iter_words_unaligned_base;
           Alcotest.test_case "strings" `Quick test_segment_strings;
           Alcotest.test_case "fill" `Quick test_segment_fill;
         ] );
       ( "mem",
         [
           Alcotest.test_case "map and find" `Quick test_mem_map_and_find;
+          Alcotest.test_case "find boundaries" `Quick test_mem_find_boundaries;
           Alcotest.test_case "overlap rejected" `Quick test_mem_overlap_rejected;
           Alcotest.test_case "map anywhere" `Quick test_mem_map_anywhere;
           Alcotest.test_case "read write" `Quick test_mem_read_write;
