@@ -9,13 +9,13 @@
 
    Sections: table1 fig1 fig34 stack-clearing structures sweep
              large-object dual-run fragmentation generational
-             pcr-threads ablations overhead mark timing
+             pcr-threads ablations overhead mark resilience timing
 
    Flags: --paper-scale   full 25000-cell lists (slow)
           --seeds N       range over N seeds in table 1
           --smoke         heavily down-scaled runs (CI)
           --json          also write a JSON summary
-          --json-out F    JSON destination (default BENCH_pr2.json) *)
+          --json-out F    JSON destination (default BENCH_pr3.json) *)
 
 open Cgc_vm
 module W = Cgc_workloads
@@ -511,6 +511,53 @@ let mark_throughput ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Memory-pressure resilience: the chaos matrix                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every collector configuration crossed with every seeded fault plan;
+   the JSON carries the aggregated allocation-ladder rung counts, so a
+   regression in graceful degradation (a rung no longer reached, or OOM
+   raised where relaxation used to rescue) shows up as a diff. *)
+let resilience ~smoke () =
+  section "Resilience" "randomized mutator under injected commit faults (chaos matrix)";
+  let steps = if smoke then 400 else 1500 in
+  let outcomes = W.Chaos.run_matrix ~steps ~seed () in
+  List.iter (Format.printf "  %a@.%!" W.Chaos.pp_outcome) outcomes;
+  let dirty = List.filter (fun o -> not (W.Chaos.clean o)) outcomes in
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+  let sum_s f = sum (fun o -> f o.W.Chaos.stats) in
+  Format.printf "@.  %d/%d scenario runs clean; %d faults injected, %d requests pushed to OOM@."
+    (List.length outcomes - List.length dirty)
+    (List.length outcomes)
+    (sum (fun o -> o.W.Chaos.faults_injected))
+    (sum (fun o -> o.W.Chaos.ooms_caught));
+  json_int "resilience_steps_per_run" steps;
+  json_int "resilience_runs" (List.length outcomes);
+  json_int "resilience_clean_runs" (List.length outcomes - List.length dirty);
+  json_int "resilience_faults_injected" (sum (fun o -> o.W.Chaos.faults_injected));
+  json_int "resilience_ooms_caught" (sum (fun o -> o.W.Chaos.ooms_caught));
+  json_int "resilience_blacklist_overrides" (sum (fun o -> o.W.Chaos.overrides));
+  json_int "resilience_ladder_collects" (sum_s (fun s -> s.Cgc.Stats.ladder_collects));
+  json_int "resilience_ladder_drains" (sum_s (fun s -> s.Cgc.Stats.ladder_drains));
+  json_int "resilience_ladder_trims" (sum_s (fun s -> s.Cgc.Stats.ladder_trims));
+  json_int "resilience_ladder_expansions" (sum_s (fun s -> s.Cgc.Stats.ladder_expansions));
+  json_int "resilience_ladder_backoffs" (sum_s (fun s -> s.Cgc.Stats.ladder_backoffs));
+  json_int "resilience_ladder_relax_first_page"
+    (sum_s (fun s -> s.Cgc.Stats.ladder_relax_first_page));
+  json_int "resilience_ladder_relax_black" (sum_s (fun s -> s.Cgc.Stats.ladder_relax_black));
+  json_int "resilience_ladder_oom_hooks" (sum_s (fun s -> s.Cgc.Stats.ladder_oom_hooks));
+  json_int "resilience_commit_faults" (sum_s (fun s -> s.Cgc.Stats.commit_faults));
+  json_int "resilience_oom_raised" (sum_s (fun s -> s.Cgc.Stats.oom_raised));
+  Format.printf
+    "@.(every injected fault is followed by a crash-coherence audit and a fault-free@.\
+     allocation; 'clean' means no invariant violation, no exception leak, and full@.\
+     recovery once faults stop — the ladder rungs above show how each config coped)@.";
+  if dirty <> [] then begin
+    Format.eprintf "resilience: chaos matrix violations@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suites (footnote 3's microbenchmarks)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -633,6 +680,7 @@ let all_sections =
     ("ablations", `Ablations);
     ("overhead", `Overhead);
     ("mark", `Mark);
+    ("resilience", `Resilience);
     ("timing", `Timing);
   ]
 
@@ -653,7 +701,7 @@ let () =
     let rec find = function
       | "--json-out" :: path :: _ -> path
       | _ :: rest -> find rest
-      | [] -> "BENCH_pr2.json"
+      | [] -> "BENCH_pr3.json"
     in
     find args
   in
@@ -702,6 +750,7 @@ let () =
       | `Ablations -> ablations ()
       | `Overhead -> overhead ()
       | `Mark -> mark_throughput ~smoke ()
+      | `Resilience -> resilience ~smoke ()
       | `Timing -> timing ())
     selected;
   if json then json_write json_out

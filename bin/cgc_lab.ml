@@ -190,6 +190,29 @@ let frag_cmd =
     (Cmd.info "fragmentation" ~doc:"Free-list discipline and fragmentation (conclusions).")
     Term.(const run_frag $ seed_arg $ population $ iterations)
 
+(* --- chaos --- *)
+
+let run_chaos seed steps =
+  let outcomes = W.Chaos.run_matrix ~steps ~seed () in
+  List.iter (Format.printf "%a@.%!" W.Chaos.pp_outcome) outcomes;
+  let dirty = List.filter (fun o -> not (W.Chaos.clean o)) outcomes in
+  Format.printf "%d/%d scenario runs clean@.%!"
+    (List.length outcomes - List.length dirty)
+    (List.length outcomes);
+  if dirty <> [] then exit 1
+
+let chaos_cmd =
+  let steps =
+    Arg.(value & opt int 1500 & info [ "steps" ] ~docv:"N" ~doc:"Mutator steps per scenario.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos soak: a randomized mutator under seeded commit-fault plans (countdown, \
+          probability, byte quota) across collector configurations.  Audits crash coherence \
+          after every injected fault and exits nonzero on any violation.")
+    Term.(const run_chaos $ seed_arg $ steps)
+
 (* --- analyze --- *)
 
 module A = Cgc_analysis
@@ -275,6 +298,7 @@ let main_cmd =
       dual_cmd;
       threads_cmd;
       frag_cmd;
+      chaos_cmd;
       analyze_cmd;
     ]
 

@@ -12,6 +12,7 @@ type t = {
   mutable current : Bitset.t;
   mutable previous : Bitset.t;
   mutable ops : int;
+  mutable overridden : int;
 }
 
 (* Fibonacci hashing spreads consecutive page numbers across buckets. *)
@@ -34,6 +35,7 @@ let create ?(representation = Exact) ~n_pages ~refresh () =
     current = Bitset.create universe;
     previous = Bitset.create universe;
     ops = 0;
+    overridden = 0;
   }
 
 let representation t = t.representation
@@ -76,6 +78,8 @@ let count t =
       !n
 
 let ops t = t.ops
+let note_override t = t.overridden <- t.overridden + 1
+let overridden t = t.overridden
 
 let iter f t =
   match t.representation with
@@ -88,4 +92,6 @@ let iter f t =
         if is_black t page then f page
       done
 
-let pp ppf t = Format.fprintf ppf "blacklist: %d pages (%d ops)" (count t) t.ops
+let pp ppf t =
+  Format.fprintf ppf "blacklist: %d pages (%d ops%s)" (count t) t.ops
+    (if t.overridden > 0 then Format.sprintf ", %d overridden" t.overridden else "")

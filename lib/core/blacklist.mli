@@ -52,6 +52,14 @@ val ops : t -> int
 (** Total bookkeeping operations performed (notes + cycle rotations),
     the quantity behind the paper's "less than 1%" overhead claim. *)
 
+val note_override : t -> unit
+(** Record that the allocator placed an object on a black page anyway —
+    the ladder's relaxation tiers trading the space guarantee for
+    availability.  Purely an audit counter; the page stays black. *)
+
+val overridden : t -> int
+(** Overrides recorded so far. *)
+
 val iter : (int -> unit) -> t -> unit
 (** Iterate over currently black pages in increasing order. *)
 

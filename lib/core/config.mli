@@ -59,6 +59,11 @@ type t = {
           pointers into the scan *)
   initial_pages : int;  (** pages committed up front *)
   min_expand_pages : int;  (** heap expansion increment *)
+  max_expand_pages : int;
+      (** starting increment for the allocation ladder's grow rung: when
+          memory pressure defeats a [max_expand_pages]-sized expansion,
+          the ladder backs off by halving down to [min_expand_pages]
+          before giving up (capped-backoff expansion sizing) *)
   space_divisor : int;
       (** collect when bytes allocated since the last collection exceed
           committed-heap-bytes / [space_divisor]; smaller keeps the heap
@@ -80,13 +85,22 @@ type t = {
           just after system start up before any allocation has taken
           place" — this is what lets blacklisting defeat static-data
           false references *)
+  relax_blacklist : bool;
+      (** permit the allocation ladder's blacklist-relaxation rungs: a
+          request starved by black pages may fall back to first-page-only
+          placement and finally to allocating on blacklisted pages
+          outright (counted in {!Stats}).  Off by default so retention
+          experiments keep the paper's strict regime — relaxation trades
+          the blacklist's space guarantee for availability, Boehm's
+          pragmatic answer to observation 7 *)
 }
 
 val default : t
 (** 4 KB pages, 4-byte granules, interior pointers on ([Anywhere]),
     aligned scanning, blacklisting on with refresh, atomic-on-black on,
     no trailing-zero avoidance, zeroing on, 64 initial pages, expansion
-    increment 64 pages, space divisor 3, startup collection on. *)
+    increment 64 pages (backoff cap 256), space divisor 3, startup
+    collection on, blacklist relaxation off. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument on inconsistent settings. *)

@@ -14,9 +14,67 @@ type t = {
   pending_sweep : Bitset.t; (* lazy mode: pages awaiting their sweep *)
   mutable allocated_since_gc : int;
   mutable auto_collect : bool;
+  mutable oom_hook : (int -> bool) option;
 }
 
-exception Out_of_memory of string
+(* --- the allocation escalation ladder --- *)
+
+type rung =
+  | Collect
+  | Drain
+  | Trim
+  | Grow
+  | Relax_first_page
+  | Relax_black
+  | Oom_hook
+
+let rung_to_string = function
+  | Collect -> "collect"
+  | Drain -> "drain"
+  | Trim -> "trim"
+  | Grow -> "grow"
+  | Relax_first_page -> "relax-first-page"
+  | Relax_black -> "relax-black"
+  | Oom_hook -> "oom-hook"
+
+type oom_diagnosis = {
+  request_bytes : int;
+  request_pages : int;
+  small : bool;
+  pointer_free : bool;
+  pages_reserved : int;
+  pages_committed : int;
+  pages_free : int;
+  pages_blacklisted : int;
+  rungs : rung list;
+  blacklist_starved : bool;
+  os_refused : bool;
+}
+
+exception Out_of_memory of oom_diagnosis
+
+let pp_oom_diagnosis ppf d =
+  Format.fprintf ppf
+    "out of memory: %d bytes (%d page%s, %s): %d/%d pages committed, %d free, %d blacklisted; \
+     rungs [%s]%s%s"
+    d.request_bytes d.request_pages
+    (if d.request_pages = 1 then "" else "s")
+    (if d.small then if d.pointer_free then "small atomic" else "small" else "large")
+    d.pages_committed d.pages_reserved d.pages_free d.pages_blacklisted
+    (String.concat "; " (List.map rung_to_string d.rungs))
+    (if d.blacklist_starved then "; blacklist-starved" else "")
+    (if d.os_refused then "; os-refused" else "")
+
+let oom_message d = Format.asprintf "%a" pp_oom_diagnosis d
+
+(* Tiers of blacklist strictness the ladder may fall through (only with
+   [Config.relax_blacklist]): the configured regime, then first-page-only
+   cleanliness for large objects (observation 7's escape hatch), then
+   placement on blacklisted pages outright, counted as overrides. *)
+type tier =
+  | Tier_strict
+  | Tier_first_page
+  | Tier_any
 
 let create ?(config = Config.default) mem ~base ~max_bytes () =
   Config.validate config;
@@ -49,6 +107,7 @@ let create ?(config = Config.default) mem ~base ~max_bytes () =
       pending_sweep = Bitset.create (Heap.n_pages heap);
       allocated_since_gc = 0;
       auto_collect = true;
+      oom_hook = None;
     }
   in
   t
@@ -62,6 +121,8 @@ let blacklisted_pages t = Blacklist.count t.blacklist
 let live_bytes t = t.stats.Stats.live_bytes
 let auto_collect t = t.auto_collect
 let set_auto_collect t b = t.auto_collect <- b
+let set_oom_hook t f = t.oom_hook <- f
+let oom_hook t = t.oom_hook
 
 (* --- roots --- *)
 
@@ -122,20 +183,32 @@ let maybe_collect t =
 
 (* --- page acquisition --- *)
 
-(* Whether the blacklist permits giving page [i] to this allocation. *)
-let page_ok t ~pointer_free ~small i =
+(* Whether the blacklist permits giving page [i] to this allocation.
+   [Tier_any] accepts any page; overrides are counted at placement. *)
+let page_ok t ~pointer_free ~small ~tier i =
   if not t.config.Config.blacklisting then true
   else begin
     t.stats.Stats.blacklist_alloc_checks <- t.stats.Stats.blacklist_alloc_checks + 1;
-    if Blacklist.is_black t.blacklist i then begin
-      if small && pointer_free && t.config.Config.atomic_on_black_pages then true
-      else begin
-        t.stats.Stats.blacklist_rejected_pages <- t.stats.Stats.blacklist_rejected_pages + 1;
-        false
-      end
-    end
-    else true
+    match tier with
+    | Tier_any -> true
+    | Tier_strict | Tier_first_page ->
+        if Blacklist.is_black t.blacklist i then begin
+          if small && pointer_free && t.config.Config.atomic_on_black_pages then true
+          else begin
+            t.stats.Stats.blacklist_rejected_pages <- t.stats.Stats.blacklist_rejected_pages + 1;
+            false
+          end
+        end
+        else true
   end
+
+(* A relaxation tier placed the request on blacklisted page(s): record
+   each override so the trade of space guarantee for availability stays
+   observable. *)
+let count_overrides t ~lo ~hi =
+  for i = lo to hi - 1 do
+    if Blacklist.is_black t.blacklist i then Blacklist.note_override t.blacklist
+  done
 
 let first_offset_for t page_index =
   match t.config.Config.avoid_trailing_zeros with
@@ -171,33 +244,175 @@ let commit_fresh_page t ~ok =
   in
   go (Heap.committed_pages t.heap)
 
-let acquire_small_page t ~granules ~pointer_free =
+let try_acquire_small_page t ~granules ~pointer_free ~tier ~note_fault =
   (* before taking a brand-new page, finish any deferred sweeping: it
      may free whole pages *)
   if t.config.Config.lazy_sweep then ignore (drain_pending_sweeps t);
-  let ok = page_ok t ~pointer_free ~small:true in
-  let try_once () =
+  let ok = page_ok t ~pointer_free ~small:true ~tier in
+  let found =
     match Heap.find_free_page t.heap ~ok with
     | Some i -> Some i
-    | None -> commit_fresh_page t ~ok
+    | None -> (
+        match commit_fresh_page t ~ok with
+        | index -> index
+        | exception Mem.Commit_failed _ ->
+            note_fault ();
+            None)
   in
-  let index =
-    match try_once () with
-    | Some i -> Some i
-    | None ->
-        if t.auto_collect then begin
-          collect t;
-          try_once ()
-        end
-        else None
+  match found with
+  | None -> false
+  | Some i ->
+      if tier = Tier_any then count_overrides t ~lo:i ~hi:(i + 1);
+      carve_small_page t i ~granules ~pointer_free;
+      true
+
+(* Ladder rung: grow the committed heap by a batch of pages, halving the
+   batch each time the (simulated) OS refuses a commit — capped backoff
+   from [max_expand_pages] down to the least that could serve the
+   request.  Partial progress is kept: a fault mid-batch leaves the
+   already-committed prefix as [Free] pages. *)
+let grow_with_backoff t ~need_pages ~note_fault =
+  let limit = Heap.n_pages t.heap in
+  let rec attempt want =
+    let committed = Heap.committed_pages t.heap in
+    let room = limit - committed in
+    if room <= 0 then false
+    else begin
+      let want = min want room in
+      t.stats.Stats.ladder_expansions <- t.stats.Stats.ladder_expansions + 1;
+      match Heap.commit_through t.heap (committed + want - 1) with
+      | (_ : bool) -> true
+      | exception Mem.Commit_failed _ ->
+          note_fault ();
+          let floor_pages = max 1 (min need_pages room) in
+          if want <= floor_pages then false
+          else begin
+            t.stats.Stats.ladder_backoffs <- t.stats.Stats.ladder_backoffs + 1;
+            attempt (max floor_pages (want / 2))
+          end
+    end
   in
-  match index with
-  | Some i -> carve_small_page t i ~granules ~pointer_free
+  attempt (max need_pages t.config.Config.max_expand_pages)
+
+(* Drive one request up the escalation ladder.  [attempt ~tier ~note_fault]
+   makes one complete placement attempt at the given blacklist
+   strictness; the ladder runs it first at [Tier_strict], then after
+   each rung that changed something: collect, drain deferred sweeps,
+   trim + retry, grow with capped backoff, blacklist relaxation
+   (opt-in, [Config.relax_blacklist]), the registered out-of-memory
+   hook, and finally a structured raise carrying the diagnosis. *)
+let run_ladder t ~request_bytes ~request_pages ~small ~pointer_free ~attempt =
+  let stats = t.stats in
+  let rungs = ref [] in
+  let faults = ref 0 in
+  let note_fault () =
+    incr faults;
+    stats.Stats.commit_faults <- stats.Stats.commit_faults + 1
+  in
+  let rung r = rungs := r :: !rungs in
+  let relaxable = t.config.Config.relax_blacklist && t.config.Config.blacklisting in
+  let steps =
+    [
+      ( (fun () ->
+          t.auto_collect
+          && begin
+               rung Collect;
+               stats.Stats.ladder_collects <- stats.Stats.ladder_collects + 1;
+               collect t;
+               true
+             end),
+        Tier_strict );
+      ( (fun () ->
+          t.config.Config.lazy_sweep
+          && (not (Bitset.is_empty t.pending_sweep))
+          && begin
+               rung Drain;
+               stats.Stats.ladder_drains <- stats.Stats.ladder_drains + 1;
+               ignore (drain_pending_sweeps t);
+               true
+             end),
+        Tier_strict );
+      ( (fun () ->
+          trim t > 0
+          && begin
+               rung Trim;
+               stats.Stats.ladder_trims <- stats.Stats.ladder_trims + 1;
+               true
+             end),
+        Tier_strict );
+      ( (fun () ->
+          rung Grow;
+          grow_with_backoff t ~need_pages:request_pages ~note_fault),
+        Tier_strict );
+      ( (fun () ->
+          relaxable && (not small)
+          && t.config.Config.interior_pointers
+          && t.config.Config.large_validity = Config.Anywhere
+          && begin
+               rung Relax_first_page;
+               stats.Stats.ladder_relax_first_page <- stats.Stats.ladder_relax_first_page + 1;
+               true
+             end),
+        Tier_first_page );
+      ( (fun () ->
+          relaxable
+          && begin
+               rung Relax_black;
+               stats.Stats.ladder_relax_black <- stats.Stats.ladder_relax_black + 1;
+               true
+             end),
+        Tier_any );
+    ]
+  in
+  let try_steps () =
+    let rec go = function
+      | [] -> None
+      | (prep, tier) :: rest -> (
+          if not (prep ()) then go rest
+          else
+            match attempt ~tier ~note_fault with
+            | Some a -> Some a
+            | None -> go rest)
+    in
+    match attempt ~tier:Tier_strict ~note_fault with
+    | Some a -> Some a
+    | None -> go steps
+  in
+  let outcome =
+    match try_steps () with
+    | Some a -> Some a
+    | None -> (
+        match t.oom_hook with
+        | Some hook ->
+            rung Oom_hook;
+            stats.Stats.ladder_oom_hooks <- stats.Stats.ladder_oom_hooks + 1;
+            if hook request_bytes then try_steps () else None
+        | None -> None)
+  in
+  match outcome with
+  | Some a -> a
   | None ->
+      let free = Heap.free_page_count t.heap in
+      let room_ignoring_blacklist =
+        if small then free > 0 || Heap.committed_pages t.heap < Heap.n_pages t.heap
+        else Heap.find_free_run t.heap ~n:request_pages ~ok:(fun _ -> true) <> None
+      in
+      stats.Stats.oom_raised <- stats.Stats.oom_raised + 1;
       raise
         (Out_of_memory
-           (Printf.sprintf "no page for a %d-granule object (%d pages blacklisted)" granules
-              (Blacklist.count t.blacklist)))
+           {
+             request_bytes;
+             request_pages;
+             small;
+             pointer_free;
+             pages_reserved = Heap.n_pages t.heap;
+             pages_committed = Heap.committed_pages t.heap;
+             pages_free = free;
+             pages_blacklisted = Blacklist.count t.blacklist;
+             rungs = List.rev !rungs;
+             blacklist_starved = t.config.Config.blacklisting && room_ignoring_blacklist;
+             os_refused = !faults > 0;
+           })
 
 let zero_object t base bytes =
   Segment.zero_range (Heap.segment t.heap) base ~len:bytes
@@ -259,40 +474,46 @@ let allocate_small t ~granules ~pointer_free =
         then take ()
         else None
   in
-  let base =
+  let attempt ~tier ~note_fault =
     match take_with_lazy () with
-    | Some a -> a
-    | None -> (
-        acquire_small_page t ~granules ~pointer_free;
-        match take () with
-        | Some a -> a
-        | None -> assert false)
+    | Some a -> Some a
+    | None ->
+        if try_acquire_small_page t ~granules ~pointer_free ~tier ~note_fault then take ()
+        else None
+  in
+  let base =
+    run_ladder t
+      ~request_bytes:(Size_class.bytes_of_granules t.sizes granules)
+      ~request_pages:1 ~small:true ~pointer_free ~attempt
   in
   set_alloc_bit t base;
   base
 
 (* Blacklist acceptability for one page of a large object: when interior
-   pointers are recognized everywhere, no page of the object may be
-   black; otherwise only the first page matters. *)
-let large_page_ok t ~start i =
+   pointers are recognized everywhere (and the tier is strict), no page
+   of the object may be black; otherwise only the first page matters;
+   [Tier_any] accepts anything. *)
+let large_page_ok t ~tier ~start i =
   if not t.config.Config.blacklisting then true
   else begin
     t.stats.Stats.blacklist_alloc_checks <- t.stats.Stats.blacklist_alloc_checks + 1;
-    let must_be_clean =
-      i = start
-      || (t.config.Config.interior_pointers
-         && t.config.Config.large_validity = Config.Anywhere)
-    in
-    if must_be_clean && Blacklist.is_black t.blacklist i then begin
-      t.stats.Stats.blacklist_rejected_pages <- t.stats.Stats.blacklist_rejected_pages + 1;
-      false
-    end
-    else true
+    match tier with
+    | Tier_any -> true
+    | Tier_strict | Tier_first_page ->
+        let must_be_clean =
+          i = start
+          || (tier = Tier_strict
+             && t.config.Config.interior_pointers
+             && t.config.Config.large_validity = Config.Anywhere)
+        in
+        if must_be_clean && Blacklist.is_black t.blacklist i then begin
+          t.stats.Stats.blacklist_rejected_pages <- t.stats.Stats.blacklist_rejected_pages + 1;
+          false
+        end
+        else true
   end
 
 let allocate_large t ~bytes ~pointer_free =
-  (* large placement needs an accurate page map *)
-  if t.config.Config.lazy_sweep then ignore (drain_pending_sweeps t);
   let page_size = Heap.page_size t.heap in
   let n = (bytes + page_size - 1) / page_size in
   (* find_free_run probes pages left to right, so the "start" of the
@@ -300,12 +521,14 @@ let allocate_large t ~bytes ~pointer_free =
      every page of the run as needing cleanliness when interiors are
      recognized, and retry with a first-page-only constraint otherwise
      by scanning candidate starts explicitly. *)
-  let strict =
-    t.config.Config.interior_pointers && t.config.Config.large_validity = Config.Anywhere
+  let whole_run_clean tier =
+    tier = Tier_strict
+    && t.config.Config.interior_pointers
+    && t.config.Config.large_validity = Config.Anywhere
   in
-  let find () =
-    if strict || not t.config.Config.blacklisting then
-      Heap.find_free_run t.heap ~n ~ok:(fun i -> large_page_ok t ~start:i i)
+  let find ~tier =
+    if tier = Tier_any || whole_run_clean tier || not t.config.Config.blacklisting then
+      Heap.find_free_run t.heap ~n ~ok:(fun i -> large_page_ok t ~tier ~start:i i)
     else begin
       (* only the first page must be clean: try successive starts *)
       let rec go start =
@@ -317,45 +540,41 @@ let allocate_large t ~bytes ~pointer_free =
             | Page.Small _ | Page.Large_head _ | Page.Large_tail _ -> false
           in
           let rec run_ok i = i >= start + n || (usable i && run_ok (i + 1)) in
-          if large_page_ok t ~start start && usable start && run_ok (start + 1) then Some start
+          if large_page_ok t ~tier ~start start && usable start && run_ok (start + 1) then
+            Some start
           else go (start + 1)
         end
       in
       go 0
     end
   in
-  let place () =
-    match find () with
+  let place ~tier ~note_fault =
+    match find ~tier with
     | None -> None
-    | Some start ->
-        if Heap.commit_through t.heap (start + n - 1) then begin
-          if start + n - 1 >= Heap.committed_pages t.heap - 1 then
-            t.stats.Stats.heap_expansions <- t.stats.Stats.heap_expansions + 1;
-          Heap.set_page t.heap start (Page.make_large ~n_pages:n ~object_bytes:bytes ~pointer_free);
-          for j = start + 1 to start + n - 1 do
-            Heap.set_page t.heap j (Page.Large_tail { head_index = start })
-          done;
-          Some (Heap.page_addr t.heap start)
-        end
-        else None
+    | Some start -> (
+        match Heap.commit_through t.heap (start + n - 1) with
+        | false -> None
+        | true ->
+            if start + n - 1 >= Heap.committed_pages t.heap - 1 then
+              t.stats.Stats.heap_expansions <- t.stats.Stats.heap_expansions + 1;
+            if tier <> Tier_strict then count_overrides t ~lo:start ~hi:(start + n);
+            Heap.set_page t.heap start
+              (Page.make_large ~n_pages:n ~object_bytes:bytes ~pointer_free);
+            for j = start + 1 to start + n - 1 do
+              Heap.set_page t.heap j (Page.Large_tail { head_index = start })
+            done;
+            Some (Heap.page_addr t.heap start)
+        | exception Mem.Commit_failed _ ->
+            (* the committed prefix of the run stays [Free]: coherent *)
+            note_fault ();
+            None)
   in
-  let base =
-    match place () with
-    | Some a -> Some a
-    | None ->
-        if t.auto_collect then begin
-          collect t;
-          place ()
-        end
-        else None
+  let attempt ~tier ~note_fault =
+    (* large placement needs an accurate page map *)
+    if t.config.Config.lazy_sweep then ignore (drain_pending_sweeps t);
+    place ~tier ~note_fault
   in
-  match base with
-  | Some a -> a
-  | None ->
-      raise
-        (Out_of_memory
-           (Printf.sprintf "no run of %d pages for a %d-byte object (%d pages blacklisted)" n
-              bytes (Blacklist.count t.blacklist)))
+  run_ladder t ~request_bytes:bytes ~request_pages:n ~small:false ~pointer_free ~attempt
 
 let allocate ?(pointer_free = false) ?finalizer t bytes =
   if bytes <= 0 then invalid_arg "Gc.allocate: non-positive size";
@@ -418,6 +637,7 @@ let pp ppf t =
 
 module Internal = struct
   let free_lists t = t.free_lists
+  let pending_sweep t = t.pending_sweep
   let finalize t = t.finalize
   let roots t = t.roots
   let marker t = t.marker

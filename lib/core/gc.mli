@@ -20,9 +20,62 @@ open Cgc_vm
 
 type t
 
-exception Out_of_memory of string
+(** {1 Failure semantics}
+
+    A request that cannot be satisfied outright climbs an escalation
+    ladder — collect, drain deferred sweeps, trim + retry, grow with
+    capped-backoff expansion sizing, optional blacklist relaxation, the
+    registered out-of-memory hook — before {!Out_of_memory} is raised.
+    Each rung is counted in {!Stats}; the raise carries a diagnosis. *)
+
+type rung =
+  | Collect  (** a collection forced on behalf of the request *)
+  | Drain  (** lazy mode: deferred sweeps finished *)
+  | Trim  (** trailing free pages returned to the OS, refunding commit quota *)
+  | Grow  (** batch heap expansion with capped backoff *)
+  | Relax_first_page
+      (** large-object blacklist strictness dropped to first-page-only
+          (observation 7's escape hatch; requires [Config.relax_blacklist]) *)
+  | Relax_black
+      (** placement permitted on blacklisted pages outright, counted as
+          overrides (requires [Config.relax_blacklist]) *)
+  | Oom_hook  (** the registered hook was given a last chance *)
+
+val rung_to_string : rung -> string
+
+type oom_diagnosis = {
+  request_bytes : int;
+  request_pages : int;
+  small : bool;  (** served from a size-classed page *)
+  pointer_free : bool;
+  pages_reserved : int;
+  pages_committed : int;
+  pages_free : int;  (** committed [Free] pages at raise time *)
+  pages_blacklisted : int;
+  rungs : rung list;  (** ladder rungs attempted, in order *)
+  blacklist_starved : bool;
+      (** room for the request exists when the blacklist is ignored — the
+          failure is observation 7's, not a true out-of-pages condition *)
+  os_refused : bool;
+      (** at least one (injected) commit/map fault was absorbed while
+          serving this request *)
+}
+
+exception Out_of_memory of oom_diagnosis
 (** Raised when the reserved region cannot satisfy a request even after
-    collecting (the simulated OS has no more memory to give). *)
+    the whole escalation ladder ran dry (the simulated OS has no more
+    memory to give, or the blacklist starves the request). *)
+
+val pp_oom_diagnosis : Format.formatter -> oom_diagnosis -> unit
+val oom_message : oom_diagnosis -> string
+
+val set_oom_hook : t -> (int -> bool) option -> unit
+(** Register (or clear) the analog of Boehm's [GC_oom_fn]: called with
+    the request size in bytes after every other rung has failed; return
+    [true] if memory may have been released (caches dropped, workload
+    shrunk) and the ladder should run once more before raising. *)
+
+val oom_hook : t -> (int -> bool) option
 
 val create : ?config:Config.t -> Mem.t -> base:Addr.t -> max_bytes:int -> unit -> t
 (** Reserve the heap and, when [config.full_gc_at_startup] is set,
@@ -117,6 +170,11 @@ val pp : Format.formatter -> t -> unit
     ({!Precise}) and to white-box tests.  Not part of the stable API. *)
 module Internal : sig
   val free_lists : t -> Free_list.t
+
+  val pending_sweep : t -> Bitset.t
+  (** Lazy mode: pages awaiting their deferred sweep (empty in eager
+      mode).  Exposed for {!Verify.check_after_fault}. *)
+
   val finalize : t -> Finalize.t
   val roots : t -> Roots.t
   val marker : t -> Mark.t

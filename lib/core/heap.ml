@@ -20,6 +20,7 @@ type desc = {
 }
 
 type t = {
+  mem : Mem.t;
   seg : Segment.t;
   base : Addr.t;
   page_size : int;
@@ -104,6 +105,7 @@ let create mem ~config ~base ~max_bytes =
   in
   let t =
     {
+      mem;
       seg;
       base;
       page_size;
@@ -115,10 +117,11 @@ let create mem ~config ~base ~max_bytes =
     }
   in
   for i = 0 to config.Config.initial_pages - 1 do
+    Mem.commit mem ~addr:(Addr.add base (i * page_size)) ~bytes:page_size;
     t.pages.(i) <- Page.Free;
-    sync_desc t i Page.Free
+    sync_desc t i Page.Free;
+    t.committed <- i + 1
   done;
-  t.committed <- config.Config.initial_pages;
   t
 
 let segment t = t.seg
@@ -179,21 +182,29 @@ let uncommit_trailing_free t =
   while !continue_ && t.committed > 0 do
     match t.pages.(t.committed - 1) with
     | Page.Free ->
-        set_page t (t.committed - 1) Page.Uncommitted;
-        t.committed <- t.committed - 1;
+        let i = t.committed - 1 in
+        set_page t i Page.Uncommitted;
+        t.committed <- i;
+        Mem.uncommit t.mem ~addr:(page_addr t i) ~bytes:t.page_size;
         incr released
     | Page.Uncommitted | Page.Small _ | Page.Large_head _ | Page.Large_tail _ ->
         continue_ := false
   done;
   !released
 
+(* Pages are charged to the simulated OS one at a time, and the
+   watermark advances with each success, so an injected commit failure
+   partway through a run leaves a coherent prefix: every page below the
+   watermark is committed-[Free], everything above stays [Uncommitted],
+   and the fault propagates to the allocation ladder. *)
 let commit_through t i =
   if i >= t.n_pages then false
   else begin
     for j = t.committed to i do
-      set_page t j Page.Free
+      Mem.commit t.mem ~addr:(page_addr t j) ~bytes:t.page_size;
+      set_page t j Page.Free;
+      t.committed <- j + 1
     done;
-    if i + 1 > t.committed then t.committed <- i + 1;
     true
   end
 

@@ -82,11 +82,18 @@ val find_free_run : t -> n:int -> ok:(int -> bool) -> int option
 
 val uncommit_trailing_free : t -> int
 (** Lower the committed watermark past any trailing [Free] pages,
-    handing them back to the (simulated) OS; returns how many. *)
+    handing them back to the (simulated) OS; returns how many.  Each
+    released page is refunded to the OS commit quota
+    ({!Cgc_vm.Mem.uncommit}), so trimming can unblock a quota-starved
+    later commit. *)
 
 val commit_through : t -> int -> bool
 (** Ensure pages [0 .. i] are committed; newly committed pages become
-    [Free].  Returns false if [i] exceeds the reserved region. *)
+    [Free].  Returns false if [i] exceeds the reserved region.  Each
+    page is charged to the simulated OS ({!Cgc_vm.Mem.commit}) before it
+    is committed, one page at a time, so an injected fault surfaces as
+    {!Cgc_vm.Mem.Commit_failed} while the already-committed prefix stays
+    coherent (the watermark only ever covers fully committed pages). *)
 
 val free_page_count : t -> int
 (** Committed pages currently [Free]. *)

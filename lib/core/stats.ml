@@ -15,6 +15,16 @@ type t = {
   mutable mark_stack_overflows : int;
   mutable blacklist_alloc_checks : int;
   mutable blacklist_rejected_pages : int;
+  mutable ladder_collects : int;
+  mutable ladder_drains : int;
+  mutable ladder_trims : int;
+  mutable ladder_expansions : int;
+  mutable ladder_backoffs : int;
+  mutable ladder_relax_first_page : int;
+  mutable ladder_relax_black : int;
+  mutable ladder_oom_hooks : int;
+  mutable commit_faults : int;
+  mutable oom_raised : int;
   mutable mark_seconds : float;
   mutable sweep_seconds : float;
   mutable total_gc_seconds : float;
@@ -38,6 +48,16 @@ let create () =
     mark_stack_overflows = 0;
     blacklist_alloc_checks = 0;
     blacklist_rejected_pages = 0;
+    ladder_collects = 0;
+    ladder_drains = 0;
+    ladder_trims = 0;
+    ladder_expansions = 0;
+    ladder_backoffs = 0;
+    ladder_relax_first_page = 0;
+    ladder_relax_black = 0;
+    ladder_oom_hooks = 0;
+    commit_faults = 0;
+    oom_raised = 0;
     mark_seconds = 0.;
     sweep_seconds = 0.;
     total_gc_seconds = 0.;
@@ -60,6 +80,16 @@ let reset t =
   t.mark_stack_overflows <- 0;
   t.blacklist_alloc_checks <- 0;
   t.blacklist_rejected_pages <- 0;
+  t.ladder_collects <- 0;
+  t.ladder_drains <- 0;
+  t.ladder_trims <- 0;
+  t.ladder_expansions <- 0;
+  t.ladder_backoffs <- 0;
+  t.ladder_relax_first_page <- 0;
+  t.ladder_relax_black <- 0;
+  t.ladder_oom_hooks <- 0;
+  t.commit_faults <- 0;
+  t.oom_raised <- 0;
   t.mark_seconds <- 0.;
   t.sweep_seconds <- 0.;
   t.total_gc_seconds <- 0.
@@ -80,9 +110,15 @@ let pp ppf t =
      heap expansions %d@,\
      mark overflows  %d@,\
      blacklist       %d alloc checks, %d pages rejected@,\
+     ladder          %d collects, %d drains, %d trims, %d grows (%d backoffs)@,\
+     relaxation      %d first-page, %d on-black, %d oom hooks@,\
+     faults          %d commit faults, %d OOM raised@,\
      gc time         %.6fs (mark %.6fs, sweep %.6fs)@]"
     t.collections t.words_scanned t.valid_refs t.false_refs t.objects_marked t.header_cache_hits
     t.objects_allocated
     t.bytes_allocated t.objects_freed t.bytes_freed t.live_objects t.live_bytes t.heap_expansions
     t.mark_stack_overflows t.blacklist_alloc_checks t.blacklist_rejected_pages
+    t.ladder_collects t.ladder_drains t.ladder_trims t.ladder_expansions t.ladder_backoffs
+    t.ladder_relax_first_page t.ladder_relax_black t.ladder_oom_hooks
+    t.commit_faults t.oom_raised
     t.total_gc_seconds t.mark_seconds t.sweep_seconds

@@ -23,6 +23,20 @@ type t = {
   mutable mark_stack_overflows : int;
   mutable blacklist_alloc_checks : int;  (** allocation-side page checks *)
   mutable blacklist_rejected_pages : int;  (** fresh-page choices vetoed by the blacklist *)
+  mutable ladder_collects : int;
+      (** allocation-ladder rung: collections forced by a failed request *)
+  mutable ladder_drains : int;  (** rung: pending lazy sweeps drained *)
+  mutable ladder_trims : int;  (** rung: trailing free pages released and the request retried *)
+  mutable ladder_expansions : int;  (** rung: heap growth attempts on behalf of a request *)
+  mutable ladder_backoffs : int;
+      (** expansion-size halvings after a grow attempt was refused by the (simulated) OS *)
+  mutable ladder_relax_first_page : int;
+      (** rung: blacklist strictness dropped to first-page-only for a starved request *)
+  mutable ladder_relax_black : int;
+      (** rung: allocation permitted on blacklisted pages outright *)
+  mutable ladder_oom_hooks : int;  (** rung: registered out-of-memory hook invocations *)
+  mutable commit_faults : int;  (** injected commit/map failures absorbed by the ladder *)
+  mutable oom_raised : int;  (** structured [Out_of_memory] raises after the ladder ran dry *)
   mutable mark_seconds : float;
   mutable sweep_seconds : float;
   mutable total_gc_seconds : float;

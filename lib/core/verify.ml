@@ -149,6 +149,61 @@ let check gc =
   check_live_accounting gc issues;
   List.rev !issues
 
+(* Invariants that must hold even when an injected fault aborted an
+   allocation or expansion partway: the committed watermark never covers
+   a partially materialized structure.  [check] already rules out
+   non-[Uncommitted] pages past the watermark; here we audit the two
+   shapes a fault can half-build — a large-object run cut short and a
+   size-class page whose slot population went incoherent — plus deferred
+   sweep bookkeeping pointing at pages that cannot be swept. *)
+let check_after_fault gc =
+  let issues = ref (List.rev (check gc)) in
+  let heap = Gc.heap gc in
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  let committed = Heap.committed_pages heap in
+  (* per-page free-slot population, from the free lists *)
+  let free_slots = Array.make (Heap.n_pages heap) 0 in
+  let free_lists = Gc.Internal.free_lists gc in
+  let n_classes = Heap.page_size heap / 8 in
+  List.iter
+    (fun pointer_free ->
+      for granules = 1 to n_classes do
+        List.iter
+          (fun a ->
+            if Heap.contains heap a then begin
+              let i = Heap.page_index heap a in
+              free_slots.(i) <- free_slots.(i) + 1
+            end)
+          (Free_list.to_list free_lists ~granules ~pointer_free)
+      done)
+    [ false; true ];
+  Heap.iter_committed heap (fun i p ->
+      match p with
+      | Page.Large_head l ->
+          if i + l.Page.n_pages > committed then
+            add "large object at %d (%d pages) extends past the committed watermark %d" i
+              l.Page.n_pages committed
+      | Page.Small s ->
+          let allocated = Bitset.count s.Page.alloc in
+          if allocated > s.Page.n_objects then
+            add "small page %d has %d allocated slots of %d" i allocated s.Page.n_objects;
+          if allocated + free_slots.(i) > s.Page.n_objects then
+            add "small page %d is over-populated: %d allocated + %d free of %d slots" i allocated
+              free_slots.(i) s.Page.n_objects
+      | Page.Free | Page.Uncommitted | Page.Large_tail _ ->
+          if free_slots.(i) > 0 then
+            add "%d free slots recorded on non-small page %d" free_slots.(i) i);
+  Bitset.iter
+    (fun i ->
+      if i >= committed then add "pending-sweep bit on page %d past the watermark %d" i committed
+      else
+        match Heap.page heap i with
+        | Page.Small _ | Page.Large_head _ -> ()
+        | Page.Free | Page.Uncommitted | Page.Large_tail _ ->
+            add "pending-sweep bit on unsweepable page %d" i)
+    (Gc.Internal.pending_sweep gc);
+  List.rev !issues
+
 let check_after_collect gc =
   let issues = ref (List.rev (check gc)) in
   let heap = Gc.heap gc in

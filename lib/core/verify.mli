@@ -26,3 +26,11 @@ val check_after_collect : Gc.t -> string list
 (** Everything {!check} does, plus post-collection-only invariants: all
     small-page mark bits are clear and the statistics' live counters
     agree with the heap. *)
+
+val check_after_fault : Gc.t -> string list
+(** Everything {!check} does, plus the crash-coherence invariants an
+    injected commit fault must not break: no large object extends past
+    the committed watermark (a run cut short mid-commit must have been
+    abandoned as [Free] pages), every size-class page's allocated +
+    free-listed slots fit its capacity (no half-initialized carve), and
+    pending-sweep bookkeeping only covers committed, sweepable pages. *)

@@ -1,5 +1,7 @@
 open Cgc_vm
 
+exception Stack_overflow of { sp : Addr.t; requested_words : int; limit : Addr.t }
+
 type config = {
   n_registers : int;
   register_residue : float;
@@ -212,7 +214,8 @@ let push_frame t ~slots =
   let total_words = slots + t.config.frame_padding in
   let new_sp = Addr.add t.sp (-(total_words * word)) in
   if Addr.to_int new_sp < Addr.to_int (Segment.base t.stack) then
-    failwith "Machine: simulated stack overflow";
+    raise
+      (Stack_overflow { sp = t.sp; requested_words = total_words; limit = Segment.base t.stack });
   t.sp <- new_sp;
   if Addr.to_int new_sp < Addr.to_int t.low_water then t.low_water <- new_sp;
   if t.config.clear_frames_on_entry then
@@ -263,7 +266,7 @@ let park t ~words =
   if t.park_restore <> None then failwith "Machine.park: already parked";
   let new_sp = Addr.add t.sp (-(words * word)) in
   if Addr.to_int new_sp < Addr.to_int (Segment.base t.stack) then
-    failwith "Machine.park: simulated stack overflow";
+    raise (Stack_overflow { sp = t.sp; requested_words = words; limit = Segment.base t.stack });
   t.park_restore <- Some t.sp;
   t.sp <- new_sp;
   if Addr.to_int new_sp < Addr.to_int t.low_water then t.low_water <- new_sp;

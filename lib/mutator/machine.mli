@@ -20,6 +20,13 @@
 
 open Cgc_vm
 
+exception Stack_overflow of { sp : Addr.t; requested_words : int; limit : Addr.t }
+(** The simulated stack cannot grow by [requested_words] below [sp]
+    without crossing [limit] (the low end of the stack segment).  A
+    typed analog of the OS's SIGSEGV-on-guard-page, distinct from
+    [Failure] (which remains reserved for programming errors such as
+    parking twice). *)
+
 type config = {
   n_registers : int;
   register_residue : float;
@@ -127,7 +134,8 @@ val call : t -> slots:int -> (frame -> 'a) -> 'a
 (** Push a frame of [slots] locals (plus configured padding), run the
     body, pop.  Frame memory is recycled stack memory: unless the
     configuration clears frames, locals start out holding whatever the
-    previous occupant left there. *)
+    previous occupant left there.
+    @raise Stack_overflow when the frame would not fit. *)
 
 val local_addr : frame -> int -> Addr.t
 (** Address of local slot [i] — itself a root while the frame is live. *)
@@ -140,7 +148,9 @@ val park : t -> words:int -> unit
     down by [words] and stays there (the region is {e not} initialized,
     so whatever the thread did earlier remains visible to the
     conservative scan).  Appendix B's idle Cedar threads sit exactly in
-    this state.  @raise Failure on stack overflow or if already parked. *)
+    this state.
+    @raise Stack_overflow when the parked region would not fit.
+    @raise Failure if already parked. *)
 
 val unpark : t -> unit
 (** Return from the blocking call; the parked region becomes dead stack.

@@ -1,11 +1,132 @@
+exception Address_space_exhausted of { requested : int }
+
+(* --- fault injection ------------------------------------------------ *)
+
+module Fault = struct
+  type reason =
+    | Countdown
+    | Chance
+    | Address
+    | Quota
+
+  let reason_to_string = function
+    | Countdown -> "countdown"
+    | Chance -> "chance"
+    | Address -> "address"
+    | Quota -> "quota"
+
+  type plan = {
+    mutable countdown : int;
+        (* > 0: charges remaining before the next injected failure *)
+    rearm : int;  (* 0 = one-shot; > 0: period to re-arm the countdown *)
+    probability : float;
+    rng : Rng.t option;
+    addr_pred : (Addr.t -> bool) option;
+    mutable quota_bytes : int;  (* < 0 = unlimited *)
+    mutable charged_bytes : int;  (* commits minus refunds since install *)
+    mutable injected : int;
+  }
+
+  let plan ?(countdown = 0) ?(rearm = false) ?probability ?addr_pred ?quota_bytes () =
+    if countdown < 0 then invalid_arg "Mem.Fault.plan: negative countdown";
+    (match quota_bytes with
+    | Some q when q < 0 -> invalid_arg "Mem.Fault.plan: negative quota"
+    | Some _ | None -> ());
+    let probability, rng =
+      match probability with
+      | None -> (0., None)
+      | Some (p, seed) ->
+          if p < 0. || p > 1. then invalid_arg "Mem.Fault.plan: probability out of [0,1]";
+          (p, Some (Rng.create seed))
+    in
+    {
+      countdown;
+      rearm = (if rearm then countdown else 0);
+      probability;
+      rng;
+      addr_pred;
+      quota_bytes = Option.value quota_bytes ~default:(-1);
+      charged_bytes = 0;
+      injected = 0;
+    }
+
+  let injected p = p.injected
+  let charged_bytes p = p.charged_bytes
+  let set_quota p q = p.quota_bytes <- q
+
+  let pp ppf p =
+    Format.fprintf ppf "fault plan: countdown=%d%s p=%.3f quota=%s charged=%d injected=%d"
+      p.countdown
+      (if p.rearm > 0 then Format.sprintf " (rearm %d)" p.rearm else "")
+      p.probability
+      (if p.quota_bytes < 0 then "none" else string_of_int p.quota_bytes)
+      p.charged_bytes p.injected
+end
+
+exception
+  Commit_failed of {
+    op : string;
+    addr : Addr.t;
+    bytes : int;
+    reason : Fault.reason;
+  }
+
 type t = {
   endian : Endian.t;
   mutable segs : Segment.t array; (* sorted by base, non-overlapping *)
+  mutable fault_plan : Fault.plan option;
+  mutable faults_injected : int;  (* across all plans ever installed *)
 }
 
-let create ?(endian = Endian.Little) () = { endian; segs = [||] }
+let create ?(endian = Endian.Little) () =
+  { endian; segs = [||]; fault_plan = None; faults_injected = 0 }
+
 let endian t = t.endian
 let segments t = Array.to_list t.segs
+
+let set_fault_plan t plan = t.fault_plan <- plan
+let fault_plan t = t.fault_plan
+let faults_injected t = t.faults_injected
+
+let inject t (p : Fault.plan) ~op ~addr ~bytes reason =
+  p.Fault.injected <- p.Fault.injected + 1;
+  t.faults_injected <- t.faults_injected + 1;
+  raise (Commit_failed { op; addr; bytes; reason })
+
+(* Consult the installed plan for one chargeable operation.  The quota
+   is checked last so a countdown or predicate failure never debits it;
+   a successful charge debits [bytes] against the quota. *)
+let charge t ~op ~addr ~bytes ~against_quota =
+  match t.fault_plan with
+  | None -> ()
+  | Some p ->
+      if p.Fault.countdown > 0 then begin
+        p.Fault.countdown <- p.Fault.countdown - 1;
+        if p.Fault.countdown = 0 then begin
+          p.Fault.countdown <- p.Fault.rearm;
+          inject t p ~op ~addr ~bytes Fault.Countdown
+        end
+      end;
+      (match p.Fault.rng with
+      | Some rng when Rng.chance rng p.Fault.probability ->
+          inject t p ~op ~addr ~bytes Fault.Chance
+      | Some _ | None -> ());
+      (match p.Fault.addr_pred with
+      | Some pred when pred addr -> inject t p ~op ~addr ~bytes Fault.Address
+      | Some _ | None -> ());
+      if against_quota then begin
+        if p.Fault.quota_bytes >= 0 && p.Fault.charged_bytes + bytes > p.Fault.quota_bytes then
+          inject t p ~op ~addr ~bytes Fault.Quota;
+        p.Fault.charged_bytes <- p.Fault.charged_bytes + bytes
+      end
+
+let commit t ~addr ~bytes = charge t ~op:"commit" ~addr ~bytes ~against_quota:true
+
+let uncommit t ~addr ~bytes =
+  ignore addr;
+  match t.fault_plan with
+  | None -> ()
+  | Some p -> p.Fault.charged_bytes <- max 0 (p.Fault.charged_bytes - bytes)
 
 let overlaps a b =
   Addr.to_int (Segment.base a) < Addr.to_int (Segment.limit b)
@@ -23,6 +144,9 @@ let insert t seg =
   t.segs <- segs
 
 let map t ~name ~kind ~base ~size =
+  (* Mapping reserves address space; it does not count against the
+     commit quota (pages are charged as the heap commits them). *)
+  charge t ~op:"map" ~addr:base ~bytes:size ~against_quota:false;
   let seg = Segment.create ~name ~kind ~endian:t.endian ~base ~size in
   insert t seg;
   seg
@@ -38,7 +162,8 @@ let map_anywhere t ~name ~kind ?(above = Addr.of_int page) ~size () =
       if !candidate + size_rounded > lo && !candidate < hi then
         candidate := Addr.to_int (Addr.align_up (Addr.of_int hi) page))
     t.segs;
-  if !candidate + size_rounded > Addr.space_size then failwith "Mem.map_anywhere: address space exhausted";
+  if !candidate + size_rounded > Addr.space_size then
+    raise (Address_space_exhausted { requested = size });
   map t ~name ~kind ~base:(Addr.of_int !candidate) ~size
 
 let unmap t seg =
@@ -75,4 +200,7 @@ let write_u8 t a v = Segment.write_u8 (get t a) a v
 let pp ppf t =
   Format.fprintf ppf "@[<v>address space (%s-endian):@," (Endian.to_string t.endian);
   Array.iter (fun s -> Format.fprintf ppf "  %a@," Segment.pp s) t.segs;
+  (match t.fault_plan with
+  | Some p -> Format.fprintf ppf "  %a@," Fault.pp p
+  | None -> ());
   Format.fprintf ppf "@]"

@@ -5,9 +5,97 @@
     It plays the role of the operating system's VM map: components
     obtain memory with {!map} (at a fixed address, like the collector
     "requesting memory from the operating system at a garbage-collector
-    specified location") or {!map_anywhere}. *)
+    specified location") or {!map_anywhere}.
+
+    It is also the fault boundary of the simulated OS.  An installed
+    {!Fault.plan} makes {!commit} (page commits charged by the heap) and
+    {!map} fail deterministically — by countdown, seeded probability,
+    address predicate, or a byte quota standing in for an OS memory
+    limit — so collector robustness under memory pressure is testable
+    rather than incidental. *)
 
 type t
+
+exception Address_space_exhausted of { requested : int }
+(** Raised by {!map_anywhere} when no gap in the 32-bit space can hold
+    the request: the simulated OS is out of address space.  Distinct
+    from [Invalid_argument] (a programming error such as an overlapping
+    fixed-base mapping). *)
+
+(** {1 Fault injection} *)
+
+module Fault : sig
+  type reason =
+    | Countdown  (** the armed charge count ran out *)
+    | Chance  (** the seeded per-charge probability fired *)
+    | Address  (** the address predicate matched *)
+    | Quota  (** the byte quota would be exceeded *)
+
+  val reason_to_string : reason -> string
+
+  type plan
+
+  val plan :
+    ?countdown:int ->
+    ?rearm:bool ->
+    ?probability:float * int ->
+    ?addr_pred:(Addr.t -> bool) ->
+    ?quota_bytes:int ->
+    unit ->
+    plan
+  (** A deterministic, seeded fault plan.
+      - [countdown n] (n > 0): the [n]-th chargeable operation after
+        installation fails; with [rearm:true] every subsequent [n]-th
+        charge fails too, otherwise the countdown disarms after firing.
+      - [probability (p, seed)]: each charge independently fails with
+        probability [p], drawn from a private SplitMix64 stream.
+      - [addr_pred]: charges whose address satisfies the predicate fail.
+      - [quota_bytes q]: cumulative committed bytes (commits minus
+        {!uncommit} refunds, counted from plan installation) may not
+        exceed [q]; a commit that would cross the quota fails without
+        debiting it — exactly an OS refusing to commit more memory. *)
+
+  val injected : plan -> int
+  (** Faults this plan has injected so far. *)
+
+  val charged_bytes : plan -> int
+  (** Net committed bytes charged against the quota so far. *)
+
+  val set_quota : plan -> int -> unit
+  (** Adjust the quota in place (negative = unlimited). *)
+
+  val pp : Format.formatter -> plan -> unit
+end
+
+exception
+  Commit_failed of {
+    op : string;  (** ["commit"] or ["map"] *)
+    addr : Addr.t;
+    bytes : int;
+    reason : Fault.reason;
+  }
+(** An injected commit/map failure.  The collector's allocation ladder
+    absorbs these; they escape to user code only through components that
+    do not guard their commits. *)
+
+val set_fault_plan : t -> Fault.plan option -> unit
+(** Install (or clear) the fault plan.  Quota accounting starts from
+    zero at installation. *)
+
+val fault_plan : t -> Fault.plan option
+val faults_injected : t -> int
+(** Total injected faults across every plan ever installed. *)
+
+val commit : t -> addr:Addr.t -> bytes:int -> unit
+(** Charge one commit of [bytes] at [addr] against the fault plan.
+    A no-op without a plan.  @raise Commit_failed when the plan says so;
+    on success the bytes are debited from the quota. *)
+
+val uncommit : t -> addr:Addr.t -> bytes:int -> unit
+(** Refund committed bytes to the quota (the heap returning pages to the
+    OS).  Never fails. *)
+
+(** {1 Address space} *)
 
 val create : ?endian:Endian.t -> unit -> t
 (** A fresh, empty address space (default little-endian). *)
@@ -15,12 +103,15 @@ val create : ?endian:Endian.t -> unit -> t
 val endian : t -> Endian.t
 
 val map : t -> name:string -> kind:Segment.kind -> base:Addr.t -> size:int -> Segment.t
-(** Create and register a segment at a fixed base address.
-    @raise Invalid_argument if it would overlap an existing segment. *)
+(** Create and register a segment at a fixed base address.  Reserves
+    address space only; commit charging happens through {!commit}.
+    @raise Invalid_argument if it would overlap an existing segment.
+    @raise Commit_failed if the installed fault plan fails the mapping. *)
 
 val map_anywhere : t -> name:string -> kind:Segment.kind -> ?above:Addr.t -> size:int -> unit -> Segment.t
 (** Map at the lowest page-aligned (4 KB) gap at or above [above]
-    (default 0x1000, keeping page zero unmapped). *)
+    (default 0x1000, keeping page zero unmapped).
+    @raise Address_space_exhausted when no gap fits. *)
 
 val unmap : t -> Segment.t -> unit
 (** Remove a segment.  Accesses through it afterwards are errors. *)

@@ -1,0 +1,204 @@
+open Cgc_vm
+module Gc = Cgc.Gc
+module Verify = Cgc.Verify
+
+type plan_spec =
+  | Countdown of { every : int }
+  | Chance of { probability : float; seed : int }
+  | Quota of { bytes : int }
+
+let plan_name = function
+  | Countdown { every } -> Printf.sprintf "countdown-%d" every
+  | Chance { probability; seed = _ } -> Printf.sprintf "chance-%.3f" probability
+  | Quota { bytes } -> Printf.sprintf "quota-%dk" (bytes / 1024)
+
+let instantiate = function
+  | Countdown { every } -> Mem.Fault.plan ~countdown:every ~rearm:true ()
+  | Chance { probability; seed } -> Mem.Fault.plan ~probability:(probability, seed) ()
+  | Quota { bytes } -> Mem.Fault.plan ~quota_bytes:bytes ()
+
+type outcome = {
+  scenario : string;
+  plan : string;
+  steps : int;
+  faults_injected : int;
+  ooms_caught : int;
+  escaped : string list;
+  verify_issues : string list;
+  post_fault_alloc_failures : int;
+  recovered : bool;
+  final_issues : string list;
+  stats : Cgc.Stats.t;
+  overrides : int;
+}
+
+let clean o =
+  o.escaped = [] && o.verify_issues = [] && o.post_fault_alloc_failures = 0 && o.recovered
+  && o.final_issues = []
+
+(* The mutator world: a globals segment of root slots plus the
+   collector, mirroring the soak tests.  Faults are installed on [mem]
+   only after construction, so the initial commit always succeeds. *)
+type world = {
+  mem : Mem.t;
+  gc : Gc.t;
+  globals : Segment.t;
+  rng : Rng.t;
+  mutable live : Addr.t list;
+}
+
+let n_slots = 64
+
+let make_world ~seed ~config =
+  let mem = Mem.create () in
+  let globals =
+    Mem.map mem ~name:"globals" ~kind:Segment.Static_data ~base:(Addr.of_int 0x10000) ~size:0x1000
+  in
+  let gc = Gc.create ~config mem ~base:(Addr.of_int 0x400000) ~max_bytes:(8 * 1024 * 1024) () in
+  Gc.add_static_root gc ~lo:(Segment.base globals) ~hi:(Segment.limit globals) ~label:"globals";
+  { mem; gc; globals; rng = Rng.create seed; live = [] }
+
+let set_slot w i v = Segment.write_word w.globals (Addr.add (Segment.base w.globals) (4 * i)) v
+
+let random_live w =
+  match w.live with
+  | [] -> None
+  | l -> Some (List.nth l (Rng.int w.rng (List.length l)))
+
+(* One random mutator step; allocation failures under pressure are
+   expected and counted by the caller via the raised [Out_of_memory]. *)
+let step w =
+  match Rng.int w.rng 100 with
+  | n when n < 45 ->
+      let bytes = 4 + (4 * Rng.int w.rng 12) in
+      let pointer_free = Rng.chance w.rng 0.2 in
+      let a = Gc.allocate ~pointer_free w.gc bytes in
+      w.live <- a :: w.live;
+      if Rng.chance w.rng 0.6 then set_slot w (Rng.int w.rng n_slots) (Addr.to_int a)
+  | n when n < 55 ->
+      let bytes = 3000 + Rng.int w.rng 12000 in
+      let a = Gc.allocate w.gc bytes in
+      if Rng.chance w.rng 0.8 then set_slot w (Rng.int w.rng n_slots) (Addr.to_int a)
+  | n when n < 70 -> (
+      match (random_live w, random_live w) with
+      | Some a, Some b when Gc.is_allocated w.gc a && Gc.is_allocated w.gc b -> (
+          match Gc.object_size w.gc a with
+          | Some size when size >= 4 -> Gc.set_field w.gc a (Rng.int w.rng (size / 4)) (Addr.to_int b)
+          | _ -> ())
+      | _ -> ())
+  | n when n < 82 -> set_slot w (Rng.int w.rng n_slots) 0
+  | n when n < 89 ->
+      (* plant a false reference: a random heap-region value *)
+      let heap = Gc.heap w.gc in
+      let v = Addr.to_int (Cgc.Heap.base heap) + Rng.int w.rng (8 * 1024 * 1024) in
+      set_slot w (Rng.int w.rng n_slots) v
+  | n when n < 95 -> Gc.collect w.gc
+  | n when n < 98 -> ignore (Gc.drain_pending_sweeps w.gc : int)
+  | _ -> ignore (Gc.trim w.gc : int)
+
+(* Allocate once with the fault plan lifted: after an injected fault (or
+   at the end of a run) the collector must be immediately usable. *)
+let fault_free_alloc_ok w =
+  let saved = Mem.fault_plan w.mem in
+  Mem.set_fault_plan w.mem None;
+  let ok =
+    match Gc.allocate w.gc 8 with
+    | a -> Gc.is_allocated w.gc a
+    | exception Gc.Out_of_memory _ ->
+        (* a tiny heap genuinely full of live data may refuse even 8
+           bytes; distinguish that from incoherence by checking room *)
+        Cgc.Heap.free_page_count (Gc.heap w.gc) > 0
+    | exception _ -> false
+  in
+  Mem.set_fault_plan w.mem saved;
+  ok
+
+let run_scenario ?(steps = 1500) ~seed ~scenario ~config ~plan () =
+  let w = make_world ~seed ~config in
+  let fp = instantiate plan in
+  Mem.set_fault_plan w.mem (Some fp);
+  let ooms = ref 0 in
+  let escaped = ref [] in
+  let issues = ref [] in
+  let post_fault_failures = ref 0 in
+  let last_faults = ref 0 in
+  for i = 1 to steps do
+    (try step w with
+    | Gc.Out_of_memory _ -> incr ooms
+    | e -> escaped := Printf.sprintf "step %d: %s" i (Printexc.to_string e) :: !escaped);
+    let faults = Mem.faults_injected w.mem in
+    if faults > !last_faults then begin
+      last_faults := faults;
+      (* crash coherence: the fault must not have torn the heap *)
+      List.iter
+        (fun s -> issues := Printf.sprintf "step %d: %s" i s :: !issues)
+        (Verify.check_after_fault w.gc);
+      if not (fault_free_alloc_ok w) then incr post_fault_failures
+    end;
+    if i mod 400 = 0 then
+      w.live <- List.filteri (fun i _ -> i < 150) (List.filter (Gc.is_allocated w.gc) w.live)
+  done;
+  Mem.set_fault_plan w.mem None;
+  let recovered = fault_free_alloc_ok w in
+  let final_issues = Verify.check w.gc in
+  {
+    scenario;
+    plan = plan_name plan;
+    steps;
+    faults_injected = Mem.faults_injected w.mem;
+    ooms_caught = !ooms;
+    escaped = List.rev !escaped;
+    verify_issues = List.rev !issues;
+    post_fault_alloc_failures = !post_fault_failures;
+    recovered;
+    final_issues;
+    stats = Cgc.Stats.copy (Gc.stats w.gc);
+    overrides = Cgc.Blacklist.overridden (Gc.blacklist w.gc);
+  }
+
+let base_config = { Cgc.Config.default with Cgc.Config.initial_pages = 8 }
+
+let default_scenarios =
+  [
+    ("eager", base_config);
+    ("lazy", { base_config with Cgc.Config.lazy_sweep = true });
+    ("bounded-stack", { base_config with Cgc.Config.mark_stack_limit = Some 32 });
+    ("hashed-blacklist", { base_config with Cgc.Config.blacklist_buckets = Some 1024 });
+    ("relaxed", { base_config with Cgc.Config.relax_blacklist = true });
+  ]
+
+let default_plans ~seed =
+  [
+    Countdown { every = 7 };
+    Chance { probability = 0.04; seed = seed lxor 0xFA17 };
+    Quota { bytes = 48 * 4096 };
+  ]
+
+let run_matrix ?(steps = 1500) ~seed () =
+  List.concat_map
+    (fun (scenario, config) ->
+      List.map
+        (fun plan -> run_scenario ~steps ~seed ~scenario ~config ~plan ())
+        (default_plans ~seed))
+    default_scenarios
+
+let pp_outcome ppf o =
+  let s = o.stats in
+  Format.fprintf ppf
+    "@[<v>%-16s x %-14s: %d steps, %d faults injected, %d OOM caught -> %s@,\
+    \  ladder: %d collects, %d drains, %d trims, %d grows (%d backoffs), %d relax-fp, %d \
+     relax-black, %d hooks; %d overrides; %d commit faults, %d raised@]"
+    o.scenario o.plan o.steps o.faults_injected o.ooms_caught
+    (if clean o then "clean" else "VIOLATIONS")
+    s.Cgc.Stats.ladder_collects s.Cgc.Stats.ladder_drains s.Cgc.Stats.ladder_trims
+    s.Cgc.Stats.ladder_expansions s.Cgc.Stats.ladder_backoffs s.Cgc.Stats.ladder_relax_first_page
+    s.Cgc.Stats.ladder_relax_black s.Cgc.Stats.ladder_oom_hooks o.overrides
+    s.Cgc.Stats.commit_faults s.Cgc.Stats.oom_raised;
+  if not (clean o) then begin
+    List.iter (fun e -> Format.fprintf ppf "@,  escaped: %s" e) o.escaped;
+    List.iter (fun e -> Format.fprintf ppf "@,  invariant: %s" e) o.verify_issues;
+    if o.post_fault_alloc_failures > 0 then
+      Format.fprintf ppf "@,  %d post-fault allocations failed" o.post_fault_alloc_failures;
+    if not o.recovered then Format.fprintf ppf "@,  did not recover once faults stopped";
+    List.iter (fun e -> Format.fprintf ppf "@,  final: %s" e) o.final_issues
+  end

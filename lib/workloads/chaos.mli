@@ -1,0 +1,67 @@
+(** Chaos driver: a randomized mutator under injected memory-pressure
+    faults.
+
+    Each scenario runs the soak-style random mutator (allocations small
+    and large, links, dropped roots, planted false references, explicit
+    collections, drains, trims) against a collector whose simulated OS
+    is failing commits according to a deterministic {!Cgc_vm.Mem.Fault}
+    plan.  After every injected fault the driver audits crash coherence
+    ({!Cgc.Verify.check_after_fault}) and proves the collector is still
+    usable by allocating once with the plan lifted; when the run ends
+    and faults stop for good, it must recover outright.
+
+    Shared by [test/test_chaos.ml], the [cgc_lab chaos] subcommand and
+    the bench resilience section. *)
+
+type plan_spec =
+  | Countdown of { every : int }  (** every [every]-th commit fails (re-arming) *)
+  | Chance of { probability : float; seed : int }  (** seeded per-commit failure chance *)
+  | Quota of { bytes : int }  (** byte budget standing in for an OS memory limit *)
+
+val plan_name : plan_spec -> string
+val instantiate : plan_spec -> Cgc_vm.Mem.Fault.plan
+
+type outcome = {
+  scenario : string;
+  plan : string;
+  steps : int;
+  faults_injected : int;
+  ooms_caught : int;  (** [Out_of_memory] surfacing to the mutator — expected under pressure *)
+  escaped : string list;  (** any other exception escaping a public entry point: a bug *)
+  verify_issues : string list;  (** post-fault invariant violations, step-tagged: bugs *)
+  post_fault_alloc_failures : int;
+      (** injected faults after which a fault-free allocation failed *)
+  recovered : bool;  (** allocation succeeded once faults stopped for good *)
+  final_issues : string list;  (** {!Cgc.Verify.check} at the end of the run *)
+  stats : Cgc.Stats.t;  (** snapshot, including the ladder-rung counters *)
+  overrides : int;  (** blacklist overrides by relaxation rungs *)
+}
+
+val clean : outcome -> bool
+(** No escapes, no invariant violations, every post-fault allocation
+    succeeded, and the run recovered. *)
+
+val run_scenario :
+  ?steps:int ->
+  seed:int ->
+  scenario:string ->
+  config:Cgc.Config.t ->
+  plan:plan_spec ->
+  unit ->
+  outcome
+
+val base_config : Cgc.Config.t
+(** {!Cgc.Config.default} on a small committed footprint (8 initial
+    pages) so fault plans bite quickly. *)
+
+val default_scenarios : (string * Cgc.Config.t) list
+(** eager, lazy, bounded mark stack, hashed blacklist, and
+    relax-blacklist variants of {!base_config}. *)
+
+val default_plans : seed:int -> plan_spec list
+(** A re-arming countdown, a seeded probability, and a commit quota. *)
+
+val run_matrix : ?steps:int -> seed:int -> unit -> outcome list
+(** Every default scenario crossed with every default plan. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,9 +1,29 @@
 module Config = Cgc.Config
 
+type failure =
+  | Blacklist_starved
+  | Out_of_pages
+  | Os_refused
+
+let failure_to_string = function
+  | Blacklist_starved -> "blacklist-starved"
+  | Out_of_pages -> "out-of-pages"
+  | Os_refused -> "os-refused"
+
+(* Collapse the collector's diagnosis into the probe's three buckets.
+   [blacklist_starved] wins: room existed, the blacklist vetoed it —
+   observation 7's failure mode, the one this workload exists to show. *)
+let classify (d : Cgc.Gc.oom_diagnosis) =
+  if d.Cgc.Gc.blacklist_starved then Blacklist_starved
+  else if d.Cgc.Gc.os_refused then Os_refused
+  else Out_of_pages
+
 type probe = {
   size_kb : int;
   anywhere_ok : bool;
+  anywhere_failure : failure option;
   first_page_ok : bool;
+  first_page_failure : failure option;
 }
 
 type result = {
@@ -35,25 +55,27 @@ let try_place ~seed ~platform ~large_validity ~size_kb =
   (* startup collection populates the blacklist before any allocation *)
   Cgc.Gc.collect gc;
   Cgc.Gc.set_auto_collect gc false;
-  let ok =
+  let ok, why =
     match Cgc.Gc.allocate gc (size_kb * 1024) with
-    | (_ : Cgc_vm.Addr.t) -> true
-    | exception Cgc.Gc.Out_of_memory _ -> false
+    | (_ : Cgc_vm.Addr.t) -> (true, None)
+    | exception Cgc.Gc.Out_of_memory d -> (false, Some (classify d))
   in
-  (ok, Cgc.Gc.blacklisted_pages gc, Cgc.Heap.n_pages (Cgc.Gc.heap gc))
+  (ok, why, Cgc.Gc.blacklisted_pages gc, Cgc.Heap.n_pages (Cgc.Gc.heap gc))
 
 let run ?(seed = 1993) ?(platform = Platform.sparc_static ~optimized:false) ~sizes_kb () =
   let black = ref 0 and pages = ref 0 in
   let probes =
     List.map
       (fun size_kb ->
-        let anywhere_ok, b, p = try_place ~seed ~platform ~large_validity:Config.Anywhere ~size_kb in
-        let first_page_ok, _, _ =
+        let anywhere_ok, anywhere_failure, b, p =
+          try_place ~seed ~platform ~large_validity:Config.Anywhere ~size_kb
+        in
+        let first_page_ok, first_page_failure, _, _ =
           try_place ~seed ~platform ~large_validity:Config.First_page_only ~size_kb
         in
         black := b;
         pages := p;
-        { size_kb; anywhere_ok; first_page_ok })
+        { size_kb; anywhere_ok; anywhere_failure; first_page_ok; first_page_failure })
       sizes_kb
   in
   let largest pred =
@@ -67,13 +89,19 @@ let run ?(seed = 1993) ?(platform = Platform.sparc_static ~optimized:false) ~siz
     largest_first_page_kb = largest (fun p -> p.first_page_ok);
   }
 
+let outcome ok why =
+  match (ok, why) with
+  | true, _ -> "ok"
+  | false, Some f -> Printf.sprintf "FAIL (%s)" (failure_to_string f)
+  | false, None -> "FAIL"
+
 let pp ppf r =
   Format.fprintf ppf "@[<v>blacklist: %d of %d heap pages@," r.black_pages r.heap_pages;
   List.iter
     (fun p ->
-      Format.fprintf ppf "  %5d KB: anywhere=%s first-page-only=%s@," p.size_kb
-        (if p.anywhere_ok then "ok " else "FAIL")
-        (if p.first_page_ok then "ok " else "FAIL"))
+      Format.fprintf ppf "  %5d KB: anywhere=%-24s first-page-only=%s@," p.size_kb
+        (outcome p.anywhere_ok p.anywhere_failure)
+        (outcome p.first_page_ok p.first_page_failure))
     r.probes;
   Format.fprintf ppf "largest placeable: %d KB (anywhere), %d KB (first-page-only)@]"
     r.largest_anywhere_kb r.largest_first_page_kb

@@ -11,10 +11,22 @@
     populates the blacklist from static data), then tries to place a
     single object of each size under both interior-pointer regimes. *)
 
+type failure =
+  | Blacklist_starved
+      (** room for the object existed, the blacklist vetoed it — the
+          observation-7 failure proper *)
+  | Out_of_pages  (** the reserve genuinely has no run of that size *)
+  | Os_refused  (** an injected commit fault blocked placement *)
+
+val failure_to_string : failure -> string
+
 type probe = {
   size_kb : int;
   anywhere_ok : bool;  (** placeable when the whole run must be clean *)
+  anywhere_failure : failure option;
+      (** why placement failed (from the collector's {!Cgc.Gc.oom_diagnosis}) *)
   first_page_ok : bool;  (** placeable when only the first page must be *)
+  first_page_failure : failure option;
 }
 
 type result = {

@@ -1,0 +1,122 @@
+(* Chaos soak: the randomized mutator of test_soak run under seeded
+   fault-injection plans.  Every injected fault must leave the heap
+   Verify-clean, the first fault-free allocation afterwards must
+   succeed, and once faults stop for good the collector must behave
+   exactly like a healthy one — including landing the Table-1 retention
+   experiment in its usual bands. *)
+
+module Chaos = Cgc_workloads.Chaos
+module W_platform = Cgc_workloads.Platform
+module W_program_t = Cgc_workloads.Program_t
+module Mem = Cgc_vm.Mem
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let outcome_clean o =
+  if not (Chaos.clean o) then
+    Alcotest.failf "%s x %s: %s" o.Chaos.scenario o.Chaos.plan
+      (Format.asprintf "%a" Chaos.pp_outcome o)
+
+(* One scenario x plan cell, asserted clean.  Countdown and chance plans
+   must actually fire to be worth anything; quota plans fire only once
+   the mutator outgrows the budget, which every config here does. *)
+let cell ~steps ~seed ~scenario ~config ~plan ~expect_faults () =
+  let o = Chaos.run_scenario ~steps ~seed ~scenario ~config ~plan () in
+  outcome_clean o;
+  if expect_faults then
+    check bool
+      (Printf.sprintf "%s x %s: plan fired" o.Chaos.scenario o.Chaos.plan)
+      true
+      (o.Chaos.faults_injected > 0)
+
+let test_matrix () =
+  (* >= 4 configs x >= 3 seeded plans, each asserted clean *)
+  let total_faults = ref 0 in
+  List.iter
+    (fun (scenario, config) ->
+      List.iter
+        (fun plan ->
+          let o = Chaos.run_scenario ~steps:1200 ~seed:2026 ~scenario ~config ~plan () in
+          outcome_clean o;
+          total_faults := !total_faults + o.Chaos.faults_injected)
+        (Chaos.default_plans ~seed:2026))
+    Chaos.default_scenarios;
+  check bool "faults were injected across the matrix" true (!total_faults > 0)
+
+let test_countdown_fires_everywhere () =
+  List.iter
+    (fun (scenario, config) ->
+      cell ~steps:800 ~seed:7 ~scenario ~config
+        ~plan:(Chaos.Countdown { every = 5 })
+        ~expect_faults:true ())
+    Chaos.default_scenarios
+
+let test_chance_fires () =
+  cell ~steps:1000 ~seed:11 ~scenario:"eager" ~config:Chaos.base_config
+    ~plan:(Chaos.Chance { probability = 0.15; seed = 99 })
+    ~expect_faults:true ()
+
+let test_quota_fires () =
+  cell ~steps:1500 ~seed:13 ~scenario:"eager" ~config:Chaos.base_config
+    ~plan:(Chaos.Quota { bytes = 16 * 4096 })
+    ~expect_faults:true ()
+
+let test_determinism () =
+  let run () =
+    Chaos.run_scenario ~steps:600 ~seed:42 ~scenario:"lazy"
+      ~config:(List.assoc "lazy" Chaos.default_scenarios)
+      ~plan:(Chaos.Chance { probability = 0.1; seed = 5 })
+      ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int)
+    "same seed, same faults" a.Chaos.faults_injected b.Chaos.faults_injected;
+  Alcotest.(check int) "same seed, same ooms" a.Chaos.ooms_caught b.Chaos.ooms_caught
+
+(* Ladder-rung counters must be observable through Stats. *)
+let test_ladder_counters_visible () =
+  let o =
+    Chaos.run_scenario ~steps:1500 ~seed:3 ~scenario:"eager" ~config:Chaos.base_config
+      ~plan:(Chaos.Quota { bytes = 12 * 4096 })
+      ()
+  in
+  outcome_clean o;
+  let s = o.Chaos.stats in
+  check bool "commit faults counted" true (s.Cgc.Stats.commit_faults > 0);
+  check bool "ladder climbed" true
+    (s.Cgc.Stats.ladder_collects > 0 || s.Cgc.Stats.ladder_trims > 0
+   || s.Cgc.Stats.ladder_expansions > 0)
+
+(* Table 1 under early faults: a one-shot countdown plan fails a commit
+   early in program T, then disarms.  The ladder absorbs the fault and
+   the experiment must land in the same bands as test_workloads pins
+   for the fault-free run (sparc-static, 40 lists x 1500 nodes:
+   blacklisting keeps leaks <= 4, no blacklisting leaks > 10). *)
+let test_retention_bands_after_faults () =
+  let p = W_platform.sparc_static ~optimized:false in
+  let prepare env =
+    Mem.set_fault_plan env.W_platform.mem (Some (Mem.Fault.plan ~countdown:3 ()))
+  in
+  let with_bl = W_program_t.run ~blacklisting:true ~prepare ~lists:40 ~nodes:1500 p in
+  let without_bl = W_program_t.run ~blacklisting:false ~prepare ~lists:40 ~nodes:1500 p in
+  check bool "fault absorbed (with blacklist)" true
+    (with_bl.W_program_t.collections > 0);
+  check bool "blacklisting band: few lists leak" true (with_bl.W_program_t.retained <= 4);
+  check bool "no-blacklisting band: most lists leak" true (without_bl.W_program_t.retained > 10)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "matrix: all configs x all plans clean" `Slow test_matrix;
+          Alcotest.test_case "countdown fires in every config" `Slow test_countdown_fires_everywhere;
+          Alcotest.test_case "chance plan fires" `Quick test_chance_fires;
+          Alcotest.test_case "quota plan fires" `Quick test_quota_fires;
+          Alcotest.test_case "deterministic under a fixed seed" `Quick test_determinism;
+          Alcotest.test_case "ladder counters visible" `Quick test_ladder_counters_visible;
+          Alcotest.test_case "table-1 bands survive early faults" `Slow
+            test_retention_bands_after_faults;
+        ] );
+    ]

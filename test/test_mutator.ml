@@ -92,7 +92,7 @@ let test_stack_overflow_detected () =
     (try
        recurse 10000;
        false
-     with Failure _ -> true)
+     with Machine.Stack_overflow _ -> true)
 
 let test_low_water_tracking () =
   let _, _, _, m = make_env () in

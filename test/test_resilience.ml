@@ -1,0 +1,320 @@
+(* Memory-pressure resilience: the fault-injection layer, the typed
+   exhaustion exceptions, the allocation escalation ladder, and the
+   structured out-of-memory diagnostics. *)
+
+open Cgc_vm
+module Gc = Cgc.Gc
+module Config = Cgc.Config
+module Stats = Cgc.Stats
+module Verify = Cgc.Verify
+module Blacklist = Cgc.Blacklist
+module Heap = Cgc.Heap
+module Machine = Cgc_mutator.Machine
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let page = 4096
+
+(* --- Mem fault plans ------------------------------------------------ *)
+
+let test_countdown_exact () =
+  let mem = Mem.create () in
+  Mem.set_fault_plan mem (Some (Mem.Fault.plan ~countdown:3 ()));
+  let commit () = Mem.commit mem ~addr:(Addr.of_int 0x1000) ~bytes:page in
+  commit ();
+  commit ();
+  (match commit () with
+  | () -> Alcotest.fail "third charge should fault"
+  | exception Mem.Commit_failed { reason = Mem.Fault.Countdown; bytes; _ } ->
+      check int "faulting charge carries its size" page bytes);
+  (* no rearm: the plan is spent *)
+  commit ();
+  check int "exactly one fault injected" 1 (Mem.faults_injected mem)
+
+let test_countdown_rearm () =
+  let mem = Mem.create () in
+  Mem.set_fault_plan mem (Some (Mem.Fault.plan ~countdown:2 ~rearm:true ()));
+  let commit () = Mem.commit mem ~addr:(Addr.of_int 0x1000) ~bytes:page in
+  let faulted () = match commit () with () -> false | exception Mem.Commit_failed _ -> true in
+  check bool "1st ok" false (faulted ());
+  check bool "2nd faults" true (faulted ());
+  check bool "3rd ok" false (faulted ());
+  check bool "4th faults" true (faulted ());
+  check int "two faults injected" 2 (Mem.faults_injected mem)
+
+let test_quota_and_refund () =
+  let mem = Mem.create () in
+  let plan = Mem.Fault.plan ~quota_bytes:(2 * page) () in
+  Mem.set_fault_plan mem (Some plan);
+  Mem.commit mem ~addr:(Addr.of_int 0x1000) ~bytes:page;
+  Mem.commit mem ~addr:(Addr.of_int 0x2000) ~bytes:page;
+  (match Mem.commit mem ~addr:(Addr.of_int 0x3000) ~bytes:page with
+  | () -> Alcotest.fail "commit over quota should fault"
+  | exception Mem.Commit_failed { reason = Mem.Fault.Quota; _ } -> ());
+  (* a refused commit does not debit the quota *)
+  check int "charged stays at the quota" (2 * page) (Mem.Fault.charged_bytes plan);
+  (* an uncommit refunds, unblocking the next commit *)
+  Mem.uncommit mem ~addr:(Addr.of_int 0x1000) ~bytes:page;
+  check int "refund lowered the charge" page (Mem.Fault.charged_bytes plan);
+  Mem.commit mem ~addr:(Addr.of_int 0x3000) ~bytes:page;
+  check int "back at the quota" (2 * page) (Mem.Fault.charged_bytes plan)
+
+let test_addr_predicate () =
+  let mem = Mem.create () in
+  Mem.set_fault_plan mem
+    (Some (Mem.Fault.plan ~addr_pred:(fun a -> Addr.to_int a = 0x5000) ()));
+  Mem.commit mem ~addr:(Addr.of_int 0x4000) ~bytes:page;
+  match Mem.commit mem ~addr:(Addr.of_int 0x5000) ~bytes:page with
+  | () -> Alcotest.fail "predicate address should fault"
+  | exception Mem.Commit_failed { reason = Mem.Fault.Address; addr; _ } ->
+      check int "fault at the matched address" 0x5000 (Addr.to_int addr)
+
+(* --- typed exhaustion exceptions ------------------------------------ *)
+
+let test_address_space_exhausted () =
+  let mem = Mem.create () in
+  match Mem.map_anywhere mem ~name:"huge" ~kind:Segment.Static_data ~size:0x40000000 () with
+  | (_ : Segment.t) -> (
+      (* 1 GB fit; a second cannot also fit below 4 GB along with two more *)
+      match
+        ( Mem.map_anywhere mem ~name:"h2" ~kind:Segment.Static_data ~size:0x40000000 (),
+          Mem.map_anywhere mem ~name:"h3" ~kind:Segment.Static_data ~size:0x40000000 (),
+          Mem.map_anywhere mem ~name:"h4" ~kind:Segment.Static_data ~size:0x40000000 () )
+      with
+      | _ -> Alcotest.fail "the 32-bit space cannot hold four 1 GB segments"
+      | exception Mem.Address_space_exhausted { requested } ->
+          check int "exception names the request" 0x40000000 requested)
+  | exception Mem.Address_space_exhausted _ -> Alcotest.fail "1 GB must fit in a fresh space"
+
+let make_machine () =
+  let mem = Mem.create () in
+  let stack =
+    Mem.map mem ~name:"stack" ~kind:Segment.Stack ~base:(Addr.of_int 0xE0000000) ~size:0x1000
+  in
+  let gc = Gc.create mem ~base:(Addr.of_int 0x400000) ~max_bytes:(256 * 1024) () in
+  Machine.create mem ~stack ~gc
+
+let test_stack_overflow_on_call () =
+  let m = make_machine () in
+  match Machine.call m ~slots:4096 (fun _ -> ()) with
+  | () -> Alcotest.fail "a 16 KB frame cannot fit a 4 KB stack"
+  | exception Machine.Stack_overflow { requested_words; _ } ->
+      check bool "exception carries the request" true (requested_words >= 4096)
+
+let test_stack_overflow_on_park () =
+  let m = make_machine () in
+  (match Machine.park m ~words:4096 with
+  | () -> Alcotest.fail "parking 16 KB cannot fit a 4 KB stack"
+  | exception Machine.Stack_overflow _ -> ());
+  (* the machine is still usable: a sane park now succeeds *)
+  Machine.park m ~words:16;
+  check bool "parked after recovery" true (Machine.parked m)
+
+(* --- exhaustion diagnostics ----------------------------------------- *)
+
+(* A tiny world: a globals segment registered as the only root, so tests
+   control liveness exactly. *)
+let make_gc ?(config = Config.default) ~pages () =
+  let mem = Mem.create () in
+  let globals =
+    Mem.map mem ~name:"globals" ~kind:Segment.Static_data ~base:(Addr.of_int 0x10000) ~size:0x1000
+  in
+  let gc = Gc.create ~config mem ~base:(Addr.of_int 0x400000) ~max_bytes:(pages * page) () in
+  Gc.add_static_root gc ~lo:(Segment.base globals) ~hi:(Segment.limit globals) ~label:"globals";
+  (mem, gc, globals)
+
+let set_slot globals i v = Segment.write_word globals (Addr.add (Segment.base globals) (4 * i)) v
+
+let test_small_exhaustion () =
+  let config = { Config.default with Config.initial_pages = 2; min_expand_pages = 1 } in
+  let _, gc, globals = make_gc ~config ~pages:8 () in
+  (* grow a fully live chain until the reserve runs dry *)
+  let head = ref 0 in
+  let d =
+    let rec go n =
+      if n = 0 then Alcotest.fail "8 pages cannot hold 10k live conses"
+      else
+        match Gc.allocate gc 16 with
+        | a ->
+            Gc.set_field gc a 0 !head;
+            head := Addr.to_int a;
+            set_slot globals 0 !head;
+            go (n - 1)
+        | exception Gc.Out_of_memory d -> d
+    in
+    go 10_000
+  in
+  check bool "small request" true d.Gc.small;
+  check int "request size preserved" 16 d.Gc.request_bytes;
+  check int "whole reserve committed before giving up" d.Gc.pages_reserved d.Gc.pages_committed;
+  check bool "ladder collected" true (List.mem Gc.Collect d.Gc.rungs);
+  check bool "ladder grew" true (List.mem Gc.Grow d.Gc.rungs);
+  check bool "a full heap is not blacklist starvation" false d.Gc.blacklist_starved;
+  check bool "no OS fault involved" false d.Gc.os_refused;
+  check int "raise counted" 1 (Gc.stats gc).Stats.oom_raised;
+  (* the collector is still usable: drop the chain and allocate again *)
+  set_slot globals 0 0;
+  head := 0;
+  let a = Gc.allocate gc 16 in
+  check bool "allocates after the catch" true (Gc.is_allocated gc a);
+  check int "heap verifies clean" 0 (List.length (Verify.check gc))
+
+let test_large_exhaustion () =
+  let _, gc, _ = make_gc ~pages:64 () in
+  (match Gc.allocate gc (128 * page) with
+  | (_ : Addr.t) -> Alcotest.fail "a 128-page object cannot fit a 64-page reserve"
+  | exception Gc.Out_of_memory d ->
+      check bool "large request" false d.Gc.small;
+      check int "request pages accurate" 128 d.Gc.request_pages;
+      check int "reserve size reported" 64 d.Gc.pages_reserved;
+      check bool "genuinely out of pages" false d.Gc.blacklist_starved;
+      check bool "diagnosis prints" true (String.length (Gc.oom_message d) > 0));
+  let a = Gc.allocate gc page in
+  check bool "allocates after the catch" true (Gc.is_allocated gc a)
+
+let blacklist_everything gc =
+  let bl = Gc.blacklist gc in
+  for i = 0 to Heap.n_pages (Gc.heap gc) - 1 do
+    Blacklist.note bl i
+  done
+
+let test_blacklist_starved_small () =
+  let config = { Config.default with Config.initial_pages = 4; full_gc_at_startup = false } in
+  let _, gc, _ = make_gc ~config ~pages:16 () in
+  Gc.set_auto_collect gc false;
+  blacklist_everything gc;
+  (match Gc.allocate gc 16 with
+  | (_ : Addr.t) -> Alcotest.fail "strict regime must refuse an all-black heap"
+  | exception Gc.Out_of_memory d ->
+      check bool "diagnosed as blacklist starvation" true d.Gc.blacklist_starved;
+      check bool "not an OS fault" false d.Gc.os_refused);
+  (* pointer-free small objects may still land on black pages *)
+  let a = Gc.allocate ~pointer_free:true gc 16 in
+  check bool "atomic allocation still succeeds" true (Gc.is_allocated gc a)
+
+let test_relaxation_rescues_small () =
+  let config =
+    {
+      Config.default with
+      Config.initial_pages = 4;
+      full_gc_at_startup = false;
+      relax_blacklist = true;
+    }
+  in
+  let _, gc, _ = make_gc ~config ~pages:16 () in
+  Gc.set_auto_collect gc false;
+  blacklist_everything gc;
+  let a = Gc.allocate gc 16 in
+  check bool "relax-black rung rescued the request" true (Gc.is_allocated gc a);
+  check bool "rung counted" true ((Gc.stats gc).Stats.ladder_relax_black > 0);
+  check bool "override audited" true (Blacklist.overridden (Gc.blacklist gc) > 0)
+
+(* The acceptance scenario: a large object starved by the blacklist under
+   the strict [Anywhere] regime is placed by the first-page-only
+   relaxation rung instead of raising. *)
+let test_relaxation_rescues_large () =
+  let config =
+    {
+      Config.default with
+      Config.initial_pages = 16;
+      full_gc_at_startup = false;
+      relax_blacklist = true;
+    }
+  in
+  let _, gc, _ = make_gc ~config ~pages:64 () in
+  Gc.set_auto_collect gc false;
+  (* every third page black: no 4-page run is wholly clean, but plenty of
+     clean first pages remain *)
+  let bl = Gc.blacklist gc in
+  for i = 0 to Heap.n_pages (Gc.heap gc) - 1 do
+    if i mod 3 = 1 then Blacklist.note bl i
+  done;
+  let a = Gc.allocate gc (4 * page) in
+  check bool "placed by a relaxation rung" true (Gc.is_allocated gc a);
+  let s = Gc.stats gc in
+  check bool "first-page rung used" true (s.Stats.ladder_relax_first_page > 0);
+  check int "full relaxation not needed" 0 s.Stats.ladder_relax_black;
+  check bool "overrides audited for the black tail pages" true
+    (Blacklist.overridden bl > 0);
+  check int "heap verifies clean" 0 (List.length (Verify.check gc))
+
+let test_oom_hook_last_chance () =
+  let config = { Config.default with Config.initial_pages = 8 } in
+  let _, gc, globals = make_gc ~config ~pages:8 () in
+  let a = Gc.allocate gc (6 * page) in
+  set_slot globals 0 (Addr.to_int a);
+  let hook_called = ref 0 in
+  Gc.set_oom_hook gc
+    (Some
+       (fun bytes ->
+         incr hook_called;
+         check int "hook sees the request size" (6 * page) bytes;
+         (* the mutator drops its cache and lets the ladder try again *)
+         set_slot globals 0 0;
+         Gc.collect gc;
+         true));
+  let b = Gc.allocate gc (6 * page) in
+  check bool "hook rescue succeeded" true (Gc.is_allocated gc b);
+  check int "hook called once" 1 !hook_called;
+  check int "rung counted" 1 (Gc.stats gc).Stats.ladder_oom_hooks
+
+(* --- faults absorbed by the ladder ---------------------------------- *)
+
+let test_ladder_absorbs_commit_fault () =
+  let config = { Config.default with Config.initial_pages = 2 } in
+  let mem, gc, _ = make_gc ~config ~pages:32 () in
+  Mem.set_fault_plan mem (Some (Mem.Fault.plan ~countdown:1 ()));
+  (* the very first commit (for this 4-page object) faults; the ladder
+     backs off, retries, and succeeds once the one-shot plan is spent *)
+  let a = Gc.allocate gc (4 * page) in
+  check bool "allocation survived the fault" true (Gc.is_allocated gc a);
+  check bool "fault counted in stats" true ((Gc.stats gc).Stats.commit_faults > 0);
+  check int "post-fault heap verifies clean" 0 (List.length (Verify.check_after_fault gc))
+
+let test_check_after_fault_on_healthy_heap () =
+  let config = { Config.default with Config.initial_pages = 8 } in
+  let _, gc, globals = make_gc ~config ~pages:16 () in
+  for i = 0 to 40 do
+    let a = Gc.allocate gc (8 + (8 * (i mod 5))) in
+    if i mod 3 = 0 then set_slot globals (i mod 64) (Addr.to_int a)
+  done;
+  Gc.collect gc;
+  check int "no findings on a healthy heap" 0 (List.length (Verify.check_after_fault gc))
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "fault plans",
+        [
+          Alcotest.test_case "countdown fires exactly" `Quick test_countdown_exact;
+          Alcotest.test_case "countdown rearms" `Quick test_countdown_rearm;
+          Alcotest.test_case "quota charges and refunds" `Quick test_quota_and_refund;
+          Alcotest.test_case "address predicate" `Quick test_addr_predicate;
+        ] );
+      ( "typed exhaustion",
+        [
+          Alcotest.test_case "address space exhausted" `Quick test_address_space_exhausted;
+          Alcotest.test_case "stack overflow on call" `Quick test_stack_overflow_on_call;
+          Alcotest.test_case "stack overflow on park" `Quick test_stack_overflow_on_park;
+        ] );
+      ( "oom diagnostics",
+        [
+          Alcotest.test_case "small-object exhaustion" `Quick test_small_exhaustion;
+          Alcotest.test_case "large-object exhaustion" `Quick test_large_exhaustion;
+          Alcotest.test_case "blacklist starvation diagnosed" `Quick test_blacklist_starved_small;
+        ] );
+      ( "escalation ladder",
+        [
+          Alcotest.test_case "relaxation rescues small requests" `Quick
+            test_relaxation_rescues_small;
+          Alcotest.test_case "first-page relaxation rescues large requests" `Quick
+            test_relaxation_rescues_large;
+          Alcotest.test_case "oom hook gets a last chance" `Quick test_oom_hook_last_chance;
+          Alcotest.test_case "ladder absorbs an injected commit fault" `Quick
+            test_ladder_absorbs_commit_fault;
+          Alcotest.test_case "check_after_fault quiet on healthy heap" `Quick
+            test_check_after_fault_on_healthy_heap;
+        ] );
+    ]
