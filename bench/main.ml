@@ -15,7 +15,9 @@
           --seeds N       range over N seeds in table 1
           --smoke         heavily down-scaled runs (CI)
           --json          also write a JSON summary
-          --json-out F    JSON destination (default BENCH_pr3.json) *)
+          --json-out F    JSON destination (default BENCH_pr4.json)
+          --collector C   restrict the resilience matrix to one backend
+                          (conservative | generational | explicit | all) *)
 
 open Cgc_vm
 module W = Cgc_workloads
@@ -46,6 +48,61 @@ let json_write path =
   output_string oc "}\n";
   close_out oc;
   Format.printf "@.wrote %s@." path
+
+(* Differential guard: the fault-boundary work must not move Table 1.
+   When a previous summary (BENCH_pr3.json) sits next to the output,
+   every retention figure present in both must be bit-identical. *)
+let read_json_fields path =
+  let ic = open_in path in
+  let fields = ref [] in
+  let strip_quotes s =
+    let n = String.length s in
+    if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2) else s
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line ':' with
+       | None -> ()
+       | Some i ->
+           let key = strip_quotes (String.trim (String.sub line 0 i)) in
+           let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+           let value =
+             let n = String.length value in
+             if n > 0 && value.[n - 1] = ',' then String.sub value 0 (n - 1) else value
+           in
+           fields := (key, value) :: !fields
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !fields
+
+let check_table1_parity json_out =
+  let reference = Filename.concat (Filename.dirname json_out) "BENCH_pr3.json" in
+  if Sys.file_exists reference then begin
+    let is_t1 (k, _) = String.length k >= 7 && String.sub k 0 7 = "table1_" in
+    let prev = List.filter is_t1 (read_json_fields reference) in
+    let cur = List.filter is_t1 (read_json_fields json_out) in
+    if prev <> [] && cur <> [] then begin
+      let mismatches =
+        List.filter_map
+          (fun (k, v) ->
+            match List.assoc_opt k cur with
+            | Some v' when String.equal v v' -> None
+            | Some v' -> Some (Printf.sprintf "%s: %s -> %s" k v v')
+            | None -> Some (Printf.sprintf "%s: %s -> (missing)" k v))
+          prev
+      in
+      if mismatches = [] then
+        Format.printf "table-1 parity: %d retention figures bit-identical to %s@."
+          (List.length prev) reference
+      else begin
+        List.iter (Format.eprintf "table-1 drift: %s@.") mismatches;
+        Format.eprintf "table-1 retention moved relative to %s@." reference;
+        exit 1
+      end
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -514,14 +571,17 @@ let mark_throughput ~smoke () =
 (* Memory-pressure resilience: the chaos matrix                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Every collector configuration crossed with every seeded fault plan;
-   the JSON carries the aggregated allocation-ladder rung counts, so a
-   regression in graceful degradation (a rung no longer reached, or OOM
-   raised where relaxation used to rescue) shows up as a diff. *)
-let resilience ~smoke () =
-  section "Resilience" "randomized mutator under injected commit faults (chaos matrix)";
+(* Every backend (conservative, generational, explicit) crossed with
+   every seeded fault plan — refused commits plus the read/write access
+   faults; the JSON carries the aggregated allocation-ladder rung and
+   access-fault counts, so a regression in graceful degradation (a rung
+   no longer reached, a read fault no longer downgraded, or OOM raised
+   where relaxation used to rescue) shows up as a diff. *)
+let resilience ~smoke ?collectors () =
+  section "Resilience"
+    "randomized mutator under injected commit/read/write faults (cross-collector chaos matrix)";
   let steps = if smoke then 400 else 1500 in
-  let outcomes = W.Chaos.run_matrix ~steps ~seed () in
+  let outcomes = W.Chaos.run_matrix ~steps ?collectors ~seed () in
   List.iter (Format.printf "  %a@.%!" W.Chaos.pp_outcome) outcomes;
   let dirty = List.filter (fun o -> not (W.Chaos.clean o)) outcomes in
   let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
@@ -548,6 +608,24 @@ let resilience ~smoke () =
   json_int "resilience_ladder_oom_hooks" (sum_s (fun s -> s.Cgc.Stats.ladder_oom_hooks));
   json_int "resilience_commit_faults" (sum_s (fun s -> s.Cgc.Stats.commit_faults));
   json_int "resilience_oom_raised" (sum_s (fun s -> s.Cgc.Stats.oom_raised));
+  json_int "resilience_read_faults" (sum_s (fun s -> s.Cgc.Stats.read_faults));
+  json_int "resilience_write_faults" (sum_s (fun s -> s.Cgc.Stats.write_faults));
+  json_int "resilience_mark_downgrades" (sum_s (fun s -> s.Cgc.Stats.mark_downgrades));
+  json_int "resilience_pages_decayed" (sum_s (fun s -> s.Cgc.Stats.pages_decayed));
+  json_int "resilience_decay_retries" (sum_s (fun s -> s.Cgc.Stats.decay_retries));
+  json_int "resilience_mutator_read_faults" (sum (fun o -> o.W.Chaos.mutator_read_faults));
+  json_int "resilience_mutator_write_faults" (sum (fun o -> o.W.Chaos.mutator_write_faults));
+  List.iter
+    (fun c ->
+      let name = W.Chaos.collector_name c in
+      let of_c = List.filter (fun o -> String.equal o.W.Chaos.collector name) outcomes in
+      if of_c <> [] then begin
+        json_int (Printf.sprintf "resilience_%s_runs" name) (List.length of_c);
+        json_int
+          (Printf.sprintf "resilience_%s_clean_runs" name)
+          (List.length (List.filter W.Chaos.clean of_c))
+      end)
+    W.Chaos.all_collectors;
   Format.printf
     "@.(every injected fault is followed by a crash-coherence audit and a fault-free@.\
      allocation; 'clean' means no invariant violation, no exception leak, and full@.\
@@ -701,13 +779,33 @@ let () =
     let rec find = function
       | "--json-out" :: path :: _ -> path
       | _ :: rest -> find rest
-      | [] -> "BENCH_pr3.json"
+      | [] -> "BENCH_pr4.json"
+    in
+    find args
+  in
+  let collectors =
+    let rec find = function
+      | "--collector" :: "all" :: _ -> None
+      | "--collector" :: name :: _ -> (
+          match
+            List.find_opt
+              (fun c -> String.equal (W.Chaos.collector_name c) name)
+              W.Chaos.all_collectors
+          with
+          | Some c -> Some [ c ]
+          | None ->
+              Format.eprintf "unknown collector %s; collectors: %s all@." name
+                (String.concat " " (List.map W.Chaos.collector_name W.Chaos.all_collectors));
+              exit 1)
+      | _ :: rest -> find rest
+      | [] -> None
     in
     find args
   in
   let rec strip = function
     | "--seeds" :: _ :: rest -> strip rest
     | "--json-out" :: _ :: rest -> strip rest
+    | "--collector" :: _ :: rest -> strip rest
     | a :: rest -> a :: strip rest
     | [] -> []
   in
@@ -750,7 +848,10 @@ let () =
       | `Ablations -> ablations ()
       | `Overhead -> overhead ()
       | `Mark -> mark_throughput ~smoke ()
-      | `Resilience -> resilience ~smoke ()
+      | `Resilience -> resilience ~smoke ?collectors ()
       | `Timing -> timing ())
     selected;
-  if json then json_write json_out
+  if json then begin
+    json_write json_out;
+    check_table1_parity json_out
+  end

@@ -192,8 +192,8 @@ let frag_cmd =
 
 (* --- chaos --- *)
 
-let run_chaos seed steps =
-  let outcomes = W.Chaos.run_matrix ~steps ~seed () in
+let run_chaos seed steps collectors =
+  let outcomes = W.Chaos.run_matrix ~steps ?collectors ~seed () in
   List.iter (Format.printf "%a@.%!" W.Chaos.pp_outcome) outcomes;
   let dirty = List.filter (fun o -> not (W.Chaos.clean o)) outcomes in
   Format.printf "%d/%d scenario runs clean@.%!"
@@ -205,13 +205,29 @@ let chaos_cmd =
   let steps =
     Arg.(value & opt int 1500 & info [ "steps" ] ~docv:"N" ~doc:"Mutator steps per scenario.")
   in
+  let collector =
+    let choices =
+      ("all", None)
+      :: List.map
+           (fun c -> (W.Chaos.collector_name c, Some [ c ]))
+           W.Chaos.all_collectors
+    in
+    Arg.(
+      value
+      & opt (enum choices) None
+      & info [ "collector" ] ~docv:"BACKEND"
+          ~doc:
+            "Restrict the matrix to one memory-management backend: $(b,conservative), \
+             $(b,generational), $(b,explicit), or $(b,all) (the default).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Chaos soak: a randomized mutator under seeded commit-fault plans (countdown, \
-          probability, byte quota) across collector configurations.  Audits crash coherence \
+         "Chaos soak: a randomized mutator under seeded fault plans (commit countdown, \
+          probability, byte quota, ECC read corruption, write refusal, permanent region \
+          decay) across collector backends and configurations.  Audits crash coherence \
           after every injected fault and exits nonzero on any violation.")
-    Term.(const run_chaos $ seed_arg $ steps)
+    Term.(const run_chaos $ seed_arg $ steps $ collector)
 
 (* --- analyze --- *)
 

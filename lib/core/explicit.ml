@@ -36,13 +36,26 @@ let carve_page t index ~granules =
   let slots = List.init n_objects (fun i -> base + (i * object_bytes)) in
   Free_list.prepend_block t.free_lists ~granules ~pointer_free:false slots
 
+(* Commit faults injected by a plan are absorbed into the allocator's
+   own typed failure: unlike the conservative collector there is no
+   escalation ladder to climb, so the caller sees [Out_of_memory] rather
+   than a leaking [Mem.Commit_failed]. *)
+let refused reason =
+  Out_of_memory
+    ("explicit allocator: simulated OS refused the commit ("
+    ^ Mem.Fault.reason_to_string reason
+    ^ ")")
+
 let acquire_page t ~granules =
   let fresh =
     match Heap.find_free_page t.heap ~ok:(fun _ -> true) with
     | Some i -> Some i
-    | None ->
+    | None -> (
         let next = Heap.committed_pages t.heap in
-        if Heap.commit_through t.heap next then Some next else None
+        match Heap.commit_through t.heap next with
+        | true -> Some next
+        | false -> None
+        | exception Mem.Commit_failed { reason; _ } -> raise (refused reason))
   in
   match fresh with
   | Some i -> carve_page t i ~granules
@@ -56,7 +69,10 @@ let malloc_small t ~granules =
       acquire_page t ~granules;
       match take () with
       | Some a -> a
-      | None -> assert false)
+      | None ->
+          (* a freshly carved page always populates this class's free
+             list; reaching here means the page table is corrupted *)
+          raise (Out_of_memory "explicit allocator: freshly carved page yielded no slot"))
 
 let malloc_large t bytes =
   let page_size = Heap.page_size t.heap in
@@ -64,8 +80,10 @@ let malloc_large t bytes =
   match Heap.find_free_run t.heap ~n ~ok:(fun _ -> true) with
   | None -> raise (Out_of_memory "explicit allocator: no free run for large object")
   | Some start ->
-      if not (Heap.commit_through t.heap (start + n - 1)) then
-        raise (Out_of_memory "explicit allocator: cannot commit large object");
+      (match Heap.commit_through t.heap (start + n - 1) with
+      | true -> ()
+      | false -> raise (Out_of_memory "explicit allocator: cannot commit large object")
+      | exception Mem.Commit_failed { reason; _ } -> raise (refused reason));
       Heap.set_page t.heap start (Page.make_large ~n_pages:n ~object_bytes:bytes ~pointer_free:false);
       for j = start + 1 to start + n - 1 do
         Heap.set_page t.heap j (Page.Large_tail { head_index = start })
@@ -83,7 +101,11 @@ let malloc t bytes =
       | Page.Small s ->
           let rel = Addr.diff a (Heap.page_addr t.heap (page_of t a)) - s.Page.first_offset in
           Bitset.add s.Page.alloc (rel / s.Page.object_bytes)
-      | Page.Uncommitted | Page.Free | Page.Large_head _ | Page.Large_tail _ -> assert false);
+      | Page.Uncommitted | Page.Free | Page.Large_head _ | Page.Large_tail _ ->
+          (* the free list handed out a slot whose page is not a
+             small-object page: heap corruption, reported typed instead
+             of tripping an assertion *)
+          invalid_arg "Explicit.malloc: free slot landed on a non-small page");
       (a, Size_class.bytes_of_granules t.sizes granules)
     end
     else (malloc_large t bytes, bytes)
@@ -151,8 +173,19 @@ let release_empty_pages t =
       | Page.Small _ | Page.Uncommitted | Page.Free | Page.Large_head _ | Page.Large_tail _ -> ());
   !released
 
-let get_field t base i = Segment.read_word (Heap.segment t.heap) (Addr.add base (4 * i))
-let set_field t base i v = Segment.write_word (Heap.segment t.heap) (Addr.add base (4 * i)) v
+let heap t = t.heap
+
+(* Field accessors consult the fault boundary like the collector's: a
+   faulted access surfaces as the typed [Mem.Read_fault]/[Write_fault]. *)
+let get_field t base i =
+  let a = Addr.add base (4 * i) in
+  Mem.guard_read (Heap.mem t.heap) a;
+  Segment.read_word (Heap.segment t.heap) a
+
+let set_field t base i v =
+  let a = Addr.add base (4 * i) in
+  Mem.guard_write (Heap.mem t.heap) a;
+  Segment.write_word (Heap.segment t.heap) a v
 
 let pp ppf t =
   Format.fprintf ppf "explicit allocator: %d objects / %d bytes live, %d bytes committed (%.2fx)"

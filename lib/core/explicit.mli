@@ -16,7 +16,9 @@ val create :
   ?page_size:int -> ?policy:Free_list.policy -> Mem.t -> base:Addr.t -> max_bytes:int -> unit -> t
 
 val malloc : t -> int -> Addr.t
-(** @raise Out_of_memory when the reserved region is exhausted. *)
+(** @raise Out_of_memory when the reserved region is exhausted or a
+    fault plan makes the simulated OS refuse the commit (the untyped
+    [Mem.Commit_failed] never escapes this allocator). *)
 
 exception Out_of_memory of string
 
@@ -37,7 +39,16 @@ val release_empty_pages : t -> int
 (** Return fully-empty small-object pages to the free pool (a very
     simple madvise-style trim); returns the number released. *)
 
+val heap : t -> Heap.t
+(** The underlying page substrate, exposed so harnesses can run
+    heap-level coherence audits ({!Verify.check_heap}) against this
+    baseline exactly as against the collector. *)
+
 val get_field : t -> Addr.t -> int -> int
+(** @raise Mem.Read_fault when an installed fault plan trips the read. *)
+
 val set_field : t -> Addr.t -> int -> int -> unit
+(** @raise Mem.Write_fault when an installed fault plan trips the write;
+    the store does not happen. *)
 
 val pp : Format.formatter -> t -> unit

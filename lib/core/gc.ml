@@ -12,6 +12,10 @@ type t = {
   stats : Stats.t;
   marker : Mark.t;
   pending_sweep : Bitset.t; (* lazy mode: pages awaiting their sweep *)
+  decayed_pages : Bitset.t;
+      (* pages quarantined after their memory decayed under the
+         allocator: every placement path excludes them, and sweeps never
+         refund their slots *)
   mutable allocated_since_gc : int;
   mutable auto_collect : bool;
   mutable oom_hook : (int -> bool) option;
@@ -49,6 +53,8 @@ type oom_diagnosis = {
   rungs : rung list;
   blacklist_starved : bool;
   os_refused : bool;
+  pages_decayed : int;
+  memory_decayed : bool;
 }
 
 exception Out_of_memory of oom_diagnosis
@@ -63,7 +69,10 @@ let pp_oom_diagnosis ppf d =
     d.pages_committed d.pages_reserved d.pages_free d.pages_blacklisted
     (String.concat "; " (List.map rung_to_string d.rungs))
     (if d.blacklist_starved then "; blacklist-starved" else "")
-    (if d.os_refused then "; os-refused" else "")
+    (if d.os_refused then "; os-refused" else "");
+  if d.memory_decayed || d.pages_decayed > 0 then
+    Format.fprintf ppf "; memory-decayed (%d page%s quarantined)" d.pages_decayed
+      (if d.pages_decayed = 1 then "" else "s")
 
 let oom_message d = Format.asprintf "%a" pp_oom_diagnosis d
 
@@ -105,6 +114,7 @@ let create ?(config = Config.default) mem ~base ~max_bytes () =
       stats;
       marker;
       pending_sweep = Bitset.create (Heap.n_pages heap);
+      decayed_pages = Bitset.create (Heap.n_pages heap);
       allocated_since_gc = 0;
       auto_collect = true;
       oom_hook = None;
@@ -134,10 +144,15 @@ let clear_roots t = Roots.clear t.roots
 
 (* --- collection --- *)
 
+let quarantined t i = Bitset.mem t.decayed_pages i
+
 (* Lazy mode: sweep every page still awaiting its sweep. *)
 let drain_pending_sweeps t =
   let freed = ref 0 in
-  Bitset.iter (fun i -> freed := !freed + Sweep.sweep_page t.heap t.free_lists t.finalize t.stats i)
+  let quarantined = quarantined t in
+  Bitset.iter
+    (fun i ->
+      freed := !freed + Sweep.sweep_page ~quarantined t.heap t.free_lists t.finalize t.stats i)
     t.pending_sweep;
   Bitset.clear t.pending_sweep;
   !freed
@@ -160,7 +175,9 @@ let collect t =
   else begin
     Mark.run t.marker t.roots ~mem:t.mem;
     let t1 = Sys.time () in
-    let (_ : Sweep.result) = Sweep.run t.heap t.free_lists t.finalize t.stats in
+    let (_ : Sweep.result) =
+      Sweep.run ~quarantined:(quarantined t) t.heap t.free_lists t.finalize t.stats
+    in
     let t2 = Sys.time () in
     t.stats.Stats.mark_seconds <- t.stats.Stats.mark_seconds +. (t1 -. t0);
     t.stats.Stats.sweep_seconds <- t.stats.Stats.sweep_seconds +. (t2 -. t1);
@@ -186,7 +203,8 @@ let maybe_collect t =
 (* Whether the blacklist permits giving page [i] to this allocation.
    [Tier_any] accepts any page; overrides are counted at placement. *)
 let page_ok t ~pointer_free ~small ~tier i =
-  if not t.config.Config.blacklisting then true
+  if Bitset.mem t.decayed_pages i then false
+  else if not t.config.Config.blacklisting then true
   else begin
     t.stats.Stats.blacklist_alloc_checks <- t.stats.Stats.blacklist_alloc_checks + 1;
     match tier with
@@ -395,7 +413,10 @@ let run_ladder t ~request_bytes ~request_pages ~small ~pointer_free ~attempt =
       let free = Heap.free_page_count t.heap in
       let room_ignoring_blacklist =
         if small then free > 0 || Heap.committed_pages t.heap < Heap.n_pages t.heap
-        else Heap.find_free_run t.heap ~n:request_pages ~ok:(fun _ -> true) <> None
+        else
+          Heap.find_free_run t.heap ~n:request_pages
+            ~ok:(fun i -> not (Bitset.mem t.decayed_pages i))
+          <> None
       in
       stats.Stats.oom_raised <- stats.Stats.oom_raised + 1;
       raise
@@ -412,11 +433,22 @@ let run_ladder t ~request_bytes ~request_pages ~small ~pointer_free ~attempt =
              rungs = List.rev !rungs;
              blacklist_starved = t.config.Config.blacklisting && room_ignoring_blacklist;
              os_refused = !faults > 0;
+             pages_decayed = Bitset.count t.decayed_pages;
+             memory_decayed = false;
            })
 
+(* Zeroing a fresh object is the collector's write into simulated
+   memory: one guarded access per object, so a write-fault plan bites
+   the allocator here.  @raise Mem.Write_fault when the plan trips. *)
 let zero_object t base bytes =
+  Mem.guard_write ~bytes t.mem base;
   Segment.zero_range (Heap.segment t.heap) base ~len:bytes
 
+(* Record the allocation in the page's alloc bitmap.  [false] means the
+   slot is stale — its page is no longer a small-object page, which can
+   happen only when a fault plan decayed/retired the page while the slot
+   sat on a free list (formerly an [assert false] sink); the caller
+   discards the slot and retries. *)
 let set_alloc_bit t base =
   let index = Heap.page_index t.heap base in
   match Heap.page t.heap index with
@@ -427,8 +459,40 @@ let set_alloc_bit t base =
       (* lazy mode allocates black: the page may still await its sweep,
          which would otherwise reclaim this unmarked newcomer *)
       if t.config.Config.lazy_sweep && Bitset.mem t.pending_sweep index then
-        Bitset.add s.Page.mark obj
-  | Page.Uncommitted | Page.Free | Page.Large_head _ | Page.Large_tail _ -> assert false
+        Bitset.add s.Page.mark obj;
+      true
+  | Page.Uncommitted | Page.Free | Page.Large_head _ | Page.Large_tail _ -> false
+
+let mark_page_decayed t i =
+  if not (Bitset.mem t.decayed_pages i) then begin
+    Bitset.add t.decayed_pages i;
+    t.stats.Stats.pages_decayed <- t.stats.Stats.pages_decayed + 1
+  end
+
+(* Withdraw a freshly allocated object whose memory decayed under the
+   allocator: the object is deallocated, its small page's remaining free
+   slots are pulled (nothing else may land on rotted memory), a large
+   run's pages return to [Free], and the page(s) join [decayed_pages] —
+   excluded by every placement path from here on. *)
+let quarantine_object t base =
+  let index = Heap.page_index t.heap base in
+  (match Heap.page t.heap index with
+  | Page.Small s ->
+      let rel = Addr.diff base (Heap.page_addr t.heap index) - s.Page.first_offset in
+      let obj = rel / s.Page.object_bytes in
+      Bitset.remove s.Page.alloc obj;
+      Bitset.remove s.Page.mark obj;
+      Free_list.drop_in_page t.free_lists ~granules:s.Page.granules
+        ~pointer_free:s.Page.pointer_free
+        ~page_of:(fun a -> Heap.page_index t.heap (Addr.of_int a))
+        ~page:index
+  | Page.Large_head l ->
+      for j = index to index + l.Page.n_pages - 1 do
+        Heap.set_page t.heap j Page.Free;
+        mark_page_decayed t j
+      done
+  | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ());
+  mark_page_decayed t index
 
 (* Lazy mode: sweep pending pages of this class until one yields. *)
 let sweep_pending_for_class t ~granules ~pointer_free =
@@ -453,7 +517,9 @@ let sweep_pending_for_class t ~granules ~pointer_free =
     | None -> continue_ := false
     | Some i ->
         Bitset.remove t.pending_sweep i;
-        let (_ : int) = Sweep.sweep_page t.heap t.free_lists t.finalize t.stats i in
+        let (_ : int) =
+          Sweep.sweep_page ~quarantined:(quarantined t) t.heap t.free_lists t.finalize t.stats i
+        in
         if Free_list.length t.free_lists ~granules ~pointer_free > 0 then begin
           found := true;
           continue_ := false
@@ -461,7 +527,7 @@ let sweep_pending_for_class t ~granules ~pointer_free =
   done;
   !found
 
-let allocate_small t ~granules ~pointer_free =
+let rec allocate_small t ~granules ~pointer_free =
   let take () = Free_list.take t.free_lists ~granules ~pointer_free in
   let take_with_lazy () =
     match take () with
@@ -486,15 +552,22 @@ let allocate_small t ~granules ~pointer_free =
       ~request_bytes:(Size_class.bytes_of_granules t.sizes granules)
       ~request_pages:1 ~small:true ~pointer_free ~attempt
   in
-  set_alloc_bit t base;
-  base
+  if set_alloc_bit t base then base
+  else begin
+    (* stale slot from a page retired under a decaying fault plan; the
+       take above already removed it from its free list, so retrying
+       makes progress *)
+    t.stats.Stats.decay_retries <- t.stats.Stats.decay_retries + 1;
+    allocate_small t ~granules ~pointer_free
+  end
 
 (* Blacklist acceptability for one page of a large object: when interior
    pointers are recognized everywhere (and the tier is strict), no page
    of the object may be black; otherwise only the first page matters;
    [Tier_any] accepts anything. *)
 let large_page_ok t ~tier ~start i =
-  if not t.config.Config.blacklisting then true
+  if Bitset.mem t.decayed_pages i then false
+  else if not t.config.Config.blacklisting then true
   else begin
     t.stats.Stats.blacklist_alloc_checks <- t.stats.Stats.blacklist_alloc_checks + 1;
     match tier with
@@ -535,6 +608,8 @@ let allocate_large t ~bytes ~pointer_free =
         if start + n > Heap.n_pages t.heap then None
         else begin
           let usable i =
+            (not (Bitset.mem t.decayed_pages i))
+            &&
             match Heap.page t.heap i with
             | Page.Free | Page.Uncommitted -> true
             | Page.Small _ | Page.Large_head _ | Page.Large_tail _ -> false
@@ -579,19 +654,47 @@ let allocate_large t ~bytes ~pointer_free =
 let allocate ?(pointer_free = false) ?finalizer t bytes =
   if bytes <= 0 then invalid_arg "Gc.allocate: non-positive size";
   maybe_collect t;
-  let base =
-    if Size_class.is_small t.sizes bytes then begin
-      let granules = Size_class.granules_for t.sizes bytes in
-      allocate_small t ~granules ~pointer_free
-    end
-    else allocate_large t ~bytes ~pointer_free
-  in
+  let small = Size_class.is_small t.sizes bytes in
   let rounded =
-    if Size_class.is_small t.sizes bytes then
-      Size_class.bytes_of_granules t.sizes (Size_class.granules_for t.sizes bytes)
+    if small then Size_class.bytes_of_granules t.sizes (Size_class.granules_for t.sizes bytes)
     else bytes
   in
-  if t.config.Config.zero_on_alloc then zero_object t base rounded;
+  let alloc_once () =
+    if small then allocate_small t ~granules:(Size_class.granules_for t.sizes bytes) ~pointer_free
+    else allocate_large t ~bytes ~pointer_free
+  in
+  (* Zeroing the new object is where a write-fault plan bites the
+     allocator.  A transient refusal is retried in place; memory that
+     decayed (or keeps refusing) quarantines the object's page(s) and
+     sends the request back up the ladder, which now excludes them.  A
+     ladder that then runs dry reports a [memory_decayed] diagnosis. *)
+  let base =
+    if not t.config.Config.zero_on_alloc then alloc_once ()
+    else begin
+      let rec obtain () =
+        let base = alloc_once () in
+        let rec zero transient_left =
+          match zero_object t base rounded with
+          | () -> true
+          | exception Mem.Write_fault _ ->
+              t.stats.Stats.write_faults <- t.stats.Stats.write_faults + 1;
+              if Mem.range_decayed t.mem base ~bytes:rounded then false
+              else if transient_left > 0 then zero (transient_left - 1)
+              else false
+        in
+        if zero 2 then base
+        else begin
+          t.stats.Stats.decay_retries <- t.stats.Stats.decay_retries + 1;
+          quarantine_object t base;
+          match obtain () with
+          | b -> b
+          | exception Out_of_memory d ->
+              raise (Out_of_memory { d with memory_decayed = true })
+        end
+      in
+      obtain ()
+    end
+  in
   t.stats.Stats.bytes_allocated <- t.stats.Stats.bytes_allocated + rounded;
   t.stats.Stats.objects_allocated <- t.stats.Stats.objects_allocated + 1;
   t.allocated_since_gc <- t.allocated_since_gc + rounded;
@@ -602,8 +705,26 @@ let allocate ?(pointer_free = false) ?finalizer t bytes =
 
 (* --- object access and exact queries --- *)
 
-let get_field t base i = Segment.read_word (Heap.segment t.heap) (Addr.add base (4 * i))
-let set_field t base i v = Segment.write_word (Heap.segment t.heap) (Addr.add base (4 * i)) v
+(* Field accessors go straight to the heap segment for speed, so they
+   consult the fault boundary themselves; a faulted access surfaces to
+   the mutator as the typed exception after being counted. *)
+let get_field t base i =
+  let a = Addr.add base (4 * i) in
+  (match Mem.probe_read t.mem a with
+  | None -> ()
+  | Some reason ->
+      t.stats.Stats.read_faults <- t.stats.Stats.read_faults + 1;
+      raise (Mem.Read_fault { addr = a; value = Mem.poison_word; reason }));
+  Segment.read_word (Heap.segment t.heap) a
+
+let set_field t base i v =
+  let a = Addr.add base (4 * i) in
+  (match Mem.probe_write t.mem a with
+  | None -> ()
+  | Some reason ->
+      t.stats.Stats.write_faults <- t.stats.Stats.write_faults + 1;
+      raise (Mem.Write_fault { addr = a; bytes = 4; reason }));
+  Segment.write_word (Heap.segment t.heap) a v
 
 let exact_config = { Config.default with Config.interior_pointers = true; large_validity = Config.Anywhere }
 
@@ -638,10 +759,11 @@ let pp ppf t =
 module Internal = struct
   let free_lists t = t.free_lists
   let pending_sweep t = t.pending_sweep
+  let decayed_pages t = t.decayed_pages
   let finalize t = t.finalize
   let roots t = t.roots
   let marker t = t.marker
-  let run_sweep t = Sweep.run t.heap t.free_lists t.finalize t.stats
+  let run_sweep t = Sweep.run ~quarantined:(quarantined t) t.heap t.free_lists t.finalize t.stats
   let run_mark t = Mark.run t.marker t.roots ~mem:t.mem
   let run_mark_reference t = Mark.Reference.run t.marker t.roots ~mem:t.mem
 

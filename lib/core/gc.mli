@@ -59,6 +59,11 @@ type oom_diagnosis = {
   os_refused : bool;
       (** at least one (injected) commit/map fault was absorbed while
           serving this request *)
+  pages_decayed : int;  (** pages quarantined after their memory decayed *)
+  memory_decayed : bool;
+      (** at least one write fault forced a quarantine-and-retry while
+          serving this request: the request died of decayed memory, not
+          of a mere shortage *)
 }
 
 exception Out_of_memory of oom_diagnosis
@@ -133,9 +138,13 @@ val trim : t -> int
 (** {1 Object access} *)
 
 val get_field : t -> Addr.t -> int -> int
-(** [get_field gc base i] reads word [i] of the object at [base]. *)
+(** [get_field gc base i] reads word [i] of the object at [base].
+    @raise Mem.Read_fault when an installed fault plan trips the read
+    (counted into [Stats.read_faults] first). *)
 
 val set_field : t -> Addr.t -> int -> int -> unit
+(** @raise Mem.Write_fault when an installed fault plan trips the write;
+    the store does not happen. *)
 
 val find_object : t -> Addr.t -> Addr.t option
 (** Exact (non-configurable) query: base of the allocated object whose
@@ -174,6 +183,11 @@ module Internal : sig
   val pending_sweep : t -> Bitset.t
   (** Lazy mode: pages awaiting their deferred sweep (empty in eager
       mode).  Exposed for {!Verify.check_after_fault}. *)
+
+  val decayed_pages : t -> Bitset.t
+  (** Pages quarantined after a decay write fault: excluded from every
+      placement path, their slots never refunded by sweeps.  Exposed for
+      {!Verify.check_after_fault} and the generational minor sweep. *)
 
   val finalize : t -> Finalize.t
   val roots : t -> Roots.t

@@ -46,14 +46,18 @@ let is_old t addr =
   | Some base -> page_is_old t (Heap.page_index (heap t) base)
   | None -> false
 
+let dirty_pages t = List.rev (Bitset.fold (fun acc i -> i :: acc) [] t.dirty)
+
 let get_field t base i = Gc.get_field t.gc base i
 
 (* The write barrier: a pointer store into an old page means the next
-   minor collection must rescan that page. *)
+   minor collection must rescan that page.  The dirty bit is set only
+   after the store succeeds — a faulted (raising) write must not leave
+   the old page spuriously dirty. *)
 let set_field t base i v =
+  Gc.set_field t.gc base i v;
   let index = Heap.page_index (heap t) base in
-  if page_is_old t index then Bitset.add t.dirty index;
-  Gc.set_field t.gc base i v
+  if page_is_old t index then Bitset.add t.dirty index
 
 (* --- minor collection --- *)
 
@@ -80,10 +84,25 @@ let minor_mark t =
         if config.Config.blacklisting then Blacklist.note blacklist page
     | Mark.Outside -> ()
   in
-  let scan_words lo hi =
-    Segment.iter_words (Heap.segment heap) ~alignment:config.Config.alignment ~lo ~hi
-      (fun _ value -> consider value)
+  let mem = Gc.mem t.gc in
+  let stats = Gc.stats t.gc in
+  (* A read fault while scanning downgrades the word to "not a pointer",
+     exactly like the full marker: counted, skipped, never retained. *)
+  let consider_guarded addr value =
+    match Mem.probe_read mem addr with
+    | None -> consider value
+    | Some _reason ->
+        stats.Stats.read_faults <- stats.Stats.read_faults + 1;
+        stats.Stats.mark_downgrades <- stats.Stats.mark_downgrades + 1
   in
+  let iter_words seg ~lo ~hi =
+    if Mem.read_faults_armed mem then
+      Segment.iter_words seg ~alignment:config.Config.alignment ~lo ~hi consider_guarded
+    else
+      Segment.iter_words seg ~alignment:config.Config.alignment ~lo ~hi (fun _ value ->
+          consider value)
+  in
+  let scan_words lo hi = iter_words (Heap.segment heap) ~lo ~hi in
   let rec drain () =
     match !stack with
     | [] -> ()
@@ -98,14 +117,11 @@ let minor_mark t =
     (fun (_, values) -> Array.iter consider values)
     (Roots.current_registers roots);
   drain ();
-  let mem = Gc.mem t.gc in
   List.iter
     (fun { Roots.lo; hi; label = _ } ->
       (match Mem.find mem lo with
       | None -> ()
-      | Some seg ->
-          Segment.iter_words seg ~alignment:config.Config.alignment ~lo ~hi (fun _ value ->
-              consider value));
+      | Some seg -> iter_words seg ~lo ~hi);
       drain ())
     (Roots.current_ranges roots);
   (* dirty old pages: rescan their live objects *)
@@ -173,9 +189,11 @@ let minor t =
   minor_mark t;
   let heap = heap t in
   let policy i _ = if page_is_old t i then `Keep_live else `Sweep in
+  let decayed = Gc.Internal.decayed_pages t.gc in
   let (_ : Sweep.result) =
-    Sweep.run ~policy heap (Gc.Internal.free_lists t.gc) (Gc.Internal.finalize t.gc)
-      (Gc.stats t.gc)
+    Sweep.run ~policy
+      ~quarantined:(fun i -> Bitset.mem decayed i)
+      heap (Gc.Internal.free_lists t.gc) (Gc.Internal.finalize t.gc) (Gc.stats t.gc)
   in
   update_ages_after_sweep t
 

@@ -32,7 +32,9 @@ val allocate : ?pointer_free:bool -> ?finalizer:string -> t -> int -> Addr.t
 
 val set_field : t -> Addr.t -> int -> int -> unit
 (** Pointer store with the write barrier: the object's page is marked
-    dirty so the next minor collection rescans it. *)
+    dirty so the next minor collection rescans it.  The dirty bit is set
+    only after the store succeeds: a store that raises
+    [Mem.Write_fault] leaves the dirty set untouched. *)
 
 val get_field : t -> Addr.t -> int -> int
 
@@ -45,6 +47,10 @@ val major : t -> unit
 
 val is_old : t -> Addr.t -> bool
 (** Whether the object's page has been promoted. *)
+
+val dirty_pages : t -> int list
+(** Indexes of old pages currently marked dirty (awaiting a rescan), in
+    increasing order.  Exposed for write-barrier tests and audits. *)
 
 type stats = {
   minor_collections : int;

@@ -125,6 +125,7 @@ let create mem ~config ~base ~max_bytes =
   t
 
 let segment t = t.seg
+let mem t = t.mem
 let base t = t.base
 let limit_reserved t = Addr.add t.base (t.n_pages * t.page_size)
 let page_size t = t.page_size

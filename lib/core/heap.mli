@@ -44,6 +44,11 @@ val create : Mem.t -> config:Config.t -> base:Addr.t -> max_bytes:int -> t
     [config.initial_pages]. *)
 
 val segment : t -> Segment.t
+
+val mem : t -> Mem.t
+(** The address space the heap lives in — the fault boundary scan loops
+    and field accessors consult for injected read/write faults. *)
+
 val base : t -> Addr.t
 val limit_reserved : t -> Addr.t
 (** One past the reserved region: any value in [\[base, limit_reserved)]

@@ -72,6 +72,10 @@ type t = {
   config : Config.t;
   blacklist : Blacklist.t;
   stats : Stats.t;
+  mem : Mem.t;
+      (* the fault boundary: scan loops consult it for injected read
+         faults (checked once per range, so the fault-free path never
+         pays a per-word plan lookup) *)
   mutable stack : int array; (* object base addresses *)
   mutable sp : int;
   mutable overflowed : bool;
@@ -114,6 +118,7 @@ let create heap config blacklist stats =
     config;
     blacklist;
     stats;
+    mem = Heap.mem heap;
     stack = Array.make 1024 0;
     sp = 0;
     overflowed = false;
@@ -277,6 +282,31 @@ let consider_heap t value =
     else (* Free / Uncommitted *) note_false t page
   end
 
+(* Guarded variant of the range scan, entered only while a fault plan
+   arms reads: every word is probed against the plan first, and a word
+   whose read faults (ECC trip or decayed region) is downgraded to "not
+   a pointer" — counted, skipped, never retained, never a crash.  Kept
+   out of [scan_words] so the fault-free loops stay closure-free. *)
+let scan_words_guarded t seg ~lo ~hi =
+  let bytes = Segment.unsafe_bytes seg in
+  let sbase = Addr.to_int (Segment.base seg) in
+  let alignment = t.alignment in
+  let little = Endian.equal (Segment.endian seg) Endian.Little in
+  let a = ref lo in
+  while !a + 4 <= hi do
+    (match Mem.probe_read t.mem (Addr.of_int !a) with
+    | None ->
+        let v =
+          if little then Segment.unsafe_word_le bytes (!a - sbase)
+          else Segment.unsafe_word_be bytes (!a - sbase)
+        in
+        consider_heap t v
+    | Some _reason ->
+        t.stats.Stats.read_faults <- t.stats.Stats.read_faults + 1;
+        t.stats.Stats.mark_downgrades <- t.stats.Stats.mark_downgrades + 1);
+    a := !a + alignment
+  done
+
 (* Closure-free scan of [lo, hi) within [seg]: one clamp, then raw
    unchecked word assembly, specialized per endianness so the branch is
    hoisted out of the loop.  The words-scanned count for the whole range
@@ -286,33 +316,43 @@ let scan_words t seg ~lo ~hi =
   if lo + 4 <= hi then begin
     t.stats.Stats.words_scanned <-
       t.stats.Stats.words_scanned + (((hi - 4 - lo) / t.alignment) + 1);
-    let bytes = Segment.unsafe_bytes seg in
-    let sbase = Addr.to_int (Segment.base seg) in
-    let alignment = t.alignment in
-    let little = Endian.equal (Segment.endian seg) Endian.Little in
-    if little then begin
-      let a = ref lo in
-      while !a + 4 <= hi do
-        consider_heap t (Segment.unsafe_word_le bytes (!a - sbase));
-        a := !a + alignment
-      done
-    end
+    if Mem.read_faults_armed t.mem then scan_words_guarded t seg ~lo ~hi
     else begin
-      let a = ref lo in
-      while !a + 4 <= hi do
-        consider_heap t (Segment.unsafe_word_be bytes (!a - sbase));
-        a := !a + alignment
-      done
+      let bytes = Segment.unsafe_bytes seg in
+      let sbase = Addr.to_int (Segment.base seg) in
+      let alignment = t.alignment in
+      let little = Endian.equal (Segment.endian seg) Endian.Little in
+      if little then begin
+        let a = ref lo in
+        while !a + 4 <= hi do
+          consider_heap t (Segment.unsafe_word_le bytes (!a - sbase));
+          a := !a + alignment
+        done
+      end
+      else begin
+        let a = ref lo in
+        while !a + 4 <= hi do
+          consider_heap t (Segment.unsafe_word_be bytes (!a - sbase));
+          a := !a + alignment
+        done
+      end
     end
   end
 
 (* Scan the words of a marked object.  Objects live entirely inside the
-   heap segment, so we read it directly. *)
+   heap segment, so we read it directly.  A page that is no longer Small
+   or Large_head was retired between the push and the pop — possible
+   only under a decaying fault plan — and has nothing left to scan. *)
 let scan_object t base =
   ensure_header t ((base - t.heap_lo) lsr t.page_shift);
   let size, pointer_free =
     if t.cache_kind = Page.kind_small then (t.cache_object_bytes, t.cache_pointer_free)
-    else (t.cache_large.Page.object_bytes, t.cache_large.Page.l_pointer_free)
+    else if t.cache_kind = Page.kind_large_head then
+      (t.cache_large.Page.object_bytes, t.cache_large.Page.l_pointer_free)
+    else begin
+      t.stats.Stats.mark_downgrades <- t.stats.Stats.mark_downgrades + 1;
+      (0, true)
+    end
   in
   if not pointer_free then
     scan_words t t.heap_seg ~lo:(Addr.of_int base) ~hi:(Addr.of_int (base + size))
@@ -401,8 +441,13 @@ module Reference = struct
           `Newly (l.Page.object_bytes, l.Page.l_pointer_free)
         end
     | Page.Uncommitted | Page.Free | Page.Large_tail _ ->
-        (* classify returned Valid, so the page cannot be in these states *)
-        assert false
+        (* classify returned Valid, yet the page is no longer an object
+           page: it was retired between classification and marking,
+           possible only when a fault plan decays pages mid-scan.
+           Downgrade the reference — skip it, never retain, never
+           crash. *)
+        t.stats.Stats.mark_downgrades <- t.stats.Stats.mark_downgrades + 1;
+        `Already
 
   let consider t value =
     t.stats.Stats.words_scanned <- t.stats.Stats.words_scanned + 1;
@@ -419,20 +464,37 @@ module Reference = struct
             t.stats.Stats.objects_marked <- t.stats.Stats.objects_marked + 1;
             push t base)
 
+  (* Mirror of the fast path's per-word downgrade: a faulted read is
+     counted and the word skipped.  [words_scanned] is bumped here
+     because [consider] (which normally counts it) never runs. *)
+  let downgrade t =
+    t.stats.Stats.words_scanned <- t.stats.Stats.words_scanned + 1;
+    t.stats.Stats.read_faults <- t.stats.Stats.read_faults + 1;
+    t.stats.Stats.mark_downgrades <- t.stats.Stats.mark_downgrades + 1
+
+  let iter_words_guarded t seg ~lo ~hi =
+    if Mem.read_faults_armed t.mem then
+      Segment.iter_words seg ~alignment:t.config.Config.alignment ~lo ~hi (fun addr value ->
+          match Mem.probe_read t.mem addr with
+          | None -> consider t value
+          | Some _reason -> downgrade t)
+    else
+      Segment.iter_words seg ~alignment:t.config.Config.alignment ~lo ~hi (fun _addr value ->
+          consider t value)
+
   let scan_object t base =
     let page = Heap.page_index t.heap base in
     let size, pointer_free =
       match Heap.page t.heap page with
       | Page.Small s -> (s.Page.object_bytes, s.Page.pointer_free)
       | Page.Large_head l -> (l.Page.object_bytes, l.Page.l_pointer_free)
-      | Page.Uncommitted | Page.Free | Page.Large_tail _ -> assert false
+      | Page.Uncommitted | Page.Free | Page.Large_tail _ ->
+          (* retired between push and pop under a decaying fault plan *)
+          t.stats.Stats.mark_downgrades <- t.stats.Stats.mark_downgrades + 1;
+          (0, true)
     in
-    if not pointer_free then begin
-      let seg = Heap.segment t.heap in
-      Segment.iter_words seg ~alignment:t.config.Config.alignment ~lo:base
-        ~hi:(Addr.add base size)
-        (fun _addr value -> consider t value)
-    end
+    if not pointer_free then
+      iter_words_guarded t (Heap.segment t.heap) ~lo:base ~hi:(Addr.add base size)
 
   let drain t =
     while t.sp > 0 do
@@ -448,9 +510,7 @@ module Reference = struct
     let { Roots.lo; hi; label = _ } = range in
     match Mem.find mem lo with
     | None -> ()
-    | Some seg ->
-        Segment.iter_words seg ~alignment:t.config.Config.alignment ~lo ~hi (fun _addr value ->
-            consider t value)
+    | Some seg -> iter_words_guarded t seg ~lo ~hi
 
   let recover_from_overflow t =
     while t.overflowed do

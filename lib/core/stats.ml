@@ -24,6 +24,11 @@ type t = {
   mutable ladder_relax_black : int;
   mutable ladder_oom_hooks : int;
   mutable commit_faults : int;
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable mark_downgrades : int;
+  mutable pages_decayed : int;
+  mutable decay_retries : int;
   mutable oom_raised : int;
   mutable mark_seconds : float;
   mutable sweep_seconds : float;
@@ -57,6 +62,11 @@ let create () =
     ladder_relax_black = 0;
     ladder_oom_hooks = 0;
     commit_faults = 0;
+    read_faults = 0;
+    write_faults = 0;
+    mark_downgrades = 0;
+    pages_decayed = 0;
+    decay_retries = 0;
     oom_raised = 0;
     mark_seconds = 0.;
     sweep_seconds = 0.;
@@ -89,6 +99,11 @@ let reset t =
   t.ladder_relax_black <- 0;
   t.ladder_oom_hooks <- 0;
   t.commit_faults <- 0;
+  t.read_faults <- 0;
+  t.write_faults <- 0;
+  t.mark_downgrades <- 0;
+  t.pages_decayed <- 0;
+  t.decay_retries <- 0;
   t.oom_raised <- 0;
   t.mark_seconds <- 0.;
   t.sweep_seconds <- 0.;
@@ -113,6 +128,8 @@ let pp ppf t =
      ladder          %d collects, %d drains, %d trims, %d grows (%d backoffs)@,\
      relaxation      %d first-page, %d on-black, %d oom hooks@,\
      faults          %d commit faults, %d OOM raised@,\
+     access faults   %d reads (%d mark downgrades), %d writes@,\
+     decay           %d pages quarantined, %d alloc retries@,\
      gc time         %.6fs (mark %.6fs, sweep %.6fs)@]"
     t.collections t.words_scanned t.valid_refs t.false_refs t.objects_marked t.header_cache_hits
     t.objects_allocated
@@ -121,4 +138,6 @@ let pp ppf t =
     t.ladder_collects t.ladder_drains t.ladder_trims t.ladder_expansions t.ladder_backoffs
     t.ladder_relax_first_page t.ladder_relax_black t.ladder_oom_hooks
     t.commit_faults t.oom_raised
+    t.read_faults t.mark_downgrades t.write_faults
+    t.pages_decayed t.decay_retries
     t.total_gc_seconds t.mark_seconds t.sweep_seconds

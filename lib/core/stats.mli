@@ -36,6 +36,19 @@ type t = {
       (** rung: allocation permitted on blacklisted pages outright *)
   mutable ladder_oom_hooks : int;  (** rung: registered out-of-memory hook invocations *)
   mutable commit_faults : int;  (** injected commit/map failures absorbed by the ladder *)
+  mutable read_faults : int;
+      (** injected read failures observed by the collector (mark-phase
+          probes plus field accessors) *)
+  mutable write_faults : int;
+      (** injected write failures observed by the collector (allocation
+          zeroing plus field accessors) *)
+  mutable mark_downgrades : int;
+      (** mark-phase words downgraded to "not a pointer" after a read
+          fault: the word is skipped, never retained *)
+  mutable pages_decayed : int;  (** heap pages quarantined after a decay write fault *)
+  mutable decay_retries : int;
+      (** allocations retried after the returned slot's memory decayed
+          (or its page was quarantined) under the allocator *)
   mutable oom_raised : int;  (** structured [Out_of_memory] raises after the ladder ran dry *)
   mutable mark_seconds : float;
   mutable sweep_seconds : float;

@@ -8,12 +8,18 @@ type result = {
   pages_released : int;
 }
 
-let sweep_page heap free_lists finalize stats index =
+let no_quarantine _ = false
+
+let sweep_page ?(quarantined = no_quarantine) heap free_lists finalize stats index =
   let freed = ref 0 in
   (match Heap.page heap index with
   | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ()
   | Page.Small s ->
       let page_base = Addr.to_int (Heap.page_addr heap index) + s.Page.first_offset in
+      (* A quarantined (decayed) page still has its dead objects freed
+         and finalized, but their slots must not re-enter the free
+         lists: nothing may be allocated from decayed memory again. *)
+      let refund = not (quarantined index) in
       (* Word-level enumeration of allocated slots: whole empty words of
          the alloc bitmap are skipped instead of probed bit by bit. *)
       Bitset.iter_set s.Page.alloc (fun obj ->
@@ -24,7 +30,9 @@ let sweep_page heap free_lists finalize stats index =
             stats.Stats.bytes_freed <- stats.Stats.bytes_freed + s.Page.object_bytes;
             let a = page_base + (obj * s.Page.object_bytes) in
             Finalize.on_reclaimed finalize a;
-            Free_list.add free_lists ~granules:s.Page.granules ~pointer_free:s.Page.pointer_free a
+            if refund then
+              Free_list.add free_lists ~granules:s.Page.granules
+                ~pointer_free:s.Page.pointer_free a
           end);
       Bitset.clear s.Page.mark;
       if Bitset.is_empty s.Page.alloc then begin
@@ -50,7 +58,7 @@ let sweep_page heap free_lists finalize stats index =
 
 let default_policy _ _ = `Sweep
 
-let run ?(policy = default_policy) heap free_lists finalize stats =
+let run ?(policy = default_policy) ?(quarantined = no_quarantine) heap free_lists finalize stats =
   let page_size = Heap.page_size heap in
   let n_classes = page_size / 8 in
   (* Address-ordered accumulators, built in reverse and flipped at the
@@ -94,10 +102,12 @@ let run ?(policy = default_policy) heap free_lists finalize stats =
         else begin
           live_objects := !live_objects + !live_here;
           live_bytes := !live_bytes + (!live_here * s.Page.object_bytes);
-          let acc = if s.Page.pointer_free then acc_atomic else acc_normal in
-          Bitset.iter_clear s.Page.alloc (fun index ->
-              acc.(s.Page.granules) <-
-                (page_base + (index * s.Page.object_bytes)) :: acc.(s.Page.granules))
+          if not (quarantined i) then begin
+            let acc = if s.Page.pointer_free then acc_atomic else acc_normal in
+            Bitset.iter_clear s.Page.alloc (fun index ->
+                acc.(s.Page.granules) <-
+                  (page_base + (index * s.Page.object_bytes)) :: acc.(s.Page.granules))
+          end
         end
     | Page.Large_head l, `Sweep ->
         if l.Page.l_allocated then begin

@@ -90,6 +90,15 @@ let check_descriptors heap issues =
           add "descriptor head %d of tail page %d (expected %d)" d.Heap.d_head.(i) i head_index
   done
 
+(* Heap-level subset of [check], for backends that are not a [Gc.t]
+   (the explicit allocator shares the page substrate but has its own
+   free-list discipline). *)
+let check_heap heap =
+  let issues = ref [] in
+  check_page_table heap issues;
+  check_descriptors heap issues;
+  List.rev !issues
+
 let check_free_lists gc issues =
   let heap = Gc.heap gc in
   let free_lists = Gc.Internal.free_lists gc in
@@ -202,6 +211,13 @@ let check_after_fault gc =
         | Page.Free | Page.Uncommitted | Page.Large_tail _ ->
             add "pending-sweep bit on unsweepable page %d" i)
     (Gc.Internal.pending_sweep gc);
+  (* decayed pages are quarantined: sweeps must never refund their
+     slots, so the free lists must hold nothing on them *)
+  Bitset.iter
+    (fun i ->
+      if free_slots.(i) > 0 then
+        add "%d free slots recorded on quarantined (decayed) page %d" free_slots.(i) i)
+    (Gc.Internal.decayed_pages gc);
   List.rev !issues
 
 let check_after_collect gc =

@@ -29,8 +29,14 @@ val check_after_collect : Gc.t -> string list
 
 val check_after_fault : Gc.t -> string list
 (** Everything {!check} does, plus the crash-coherence invariants an
-    injected commit fault must not break: no large object extends past
-    the committed watermark (a run cut short mid-commit must have been
+    injected fault must not break: no large object extends past the
+    committed watermark (a run cut short mid-commit must have been
     abandoned as [Free] pages), every size-class page's allocated +
-    free-listed slots fit its capacity (no half-initialized carve), and
-    pending-sweep bookkeeping only covers committed, sweepable pages. *)
+    free-listed slots fit its capacity (no half-initialized carve),
+    pending-sweep bookkeeping only covers committed, sweepable pages,
+    and no free-list slot lives on a quarantined (decayed) page. *)
+
+val check_heap : Heap.t -> string list
+(** The heap-level subset of {!check} — page-table shape and descriptor
+    coherence — usable against any backend sharing the page substrate
+    (e.g. the {!Explicit} baseline), without needing a [Gc.t]. *)

@@ -1,6 +1,7 @@
 open Cgc_vm
 
 exception Stack_overflow of { sp : Addr.t; requested_words : int; limit : Addr.t }
+exception Already_parked of { sp : Addr.t }
 
 type config = {
   n_registers : int;
@@ -263,7 +264,7 @@ let set_local frame i v =
   Segment.write_word frame.machine.stack addr v
 
 let park t ~words =
-  if t.park_restore <> None then failwith "Machine.park: already parked";
+  if t.park_restore <> None then raise (Already_parked { sp = t.sp });
   let new_sp = Addr.add t.sp (-(words * word)) in
   if Addr.to_int new_sp < Addr.to_int (Segment.base t.stack) then
     raise (Stack_overflow { sp = t.sp; requested_words = words; limit = Segment.base t.stack });

@@ -23,9 +23,12 @@ open Cgc_vm
 exception Stack_overflow of { sp : Addr.t; requested_words : int; limit : Addr.t }
 (** The simulated stack cannot grow by [requested_words] below [sp]
     without crossing [limit] (the low end of the stack segment).  A
-    typed analog of the OS's SIGSEGV-on-guard-page, distinct from
-    [Failure] (which remains reserved for programming errors such as
-    parking twice). *)
+    typed analog of the OS's SIGSEGV-on-guard-page. *)
+
+exception Already_parked of { sp : Addr.t }
+(** {!park} was called on a machine that is already parked at [sp].
+    Typed like {!Stack_overflow} so harnesses can match on it; the
+    machine is left untouched and remains usable. *)
 
 type config = {
   n_registers : int;
@@ -150,7 +153,7 @@ val park : t -> words:int -> unit
     conservative scan).  Appendix B's idle Cedar threads sit exactly in
     this state.
     @raise Stack_overflow when the parked region would not fit.
-    @raise Failure if already parked. *)
+    @raise Already_parked if the machine is already parked. *)
 
 val unpark : t -> unit
 (** Return from the blocking call; the parked region becomes dead stack.

@@ -8,12 +8,16 @@ module Fault = struct
     | Chance
     | Address
     | Quota
+    | Decayed
 
   let reason_to_string = function
     | Countdown -> "countdown"
     | Chance -> "chance"
     | Address -> "address"
     | Quota -> "quota"
+    | Decayed -> "decayed"
+
+  type target = Commits | Reads | Writes | Access | All
 
   type plan = {
     mutable countdown : int;
@@ -25,19 +29,41 @@ module Fault = struct
     mutable quota_bytes : int;  (* < 0 = unlimited *)
     mutable charged_bytes : int;  (* commits minus refunds since install *)
     mutable injected : int;
+    commits : bool;  (* plan applies to commit/map charges *)
+    reads : bool;  (* plan applies to guarded word/byte reads *)
+    writes : bool;  (* plan applies to guarded word/byte writes *)
+    decay_bytes : int;
+        (* 0 = transient ECC corruption; > 0: a tripped access permanently
+           decays the aligned region of this many bytes around it *)
+    mutable decayed : (int * int) list;  (* decayed [lo, hi) address ranges *)
+    decay_tbl : (int, unit) Hashtbl.t;
+        (* aligned region starts, for O(1) membership on the probe path *)
+    mutable read_faults : int;
+    mutable write_faults : int;
   }
 
-  let plan ?(countdown = 0) ?(rearm = false) ?probability ?addr_pred ?quota_bytes () =
+  let plan ?(countdown = 0) ?(rearm = false) ?probability ?addr_pred ?quota_bytes
+      ?(target = Commits) ?(decay_bytes = 0) () =
     if countdown < 0 then invalid_arg "Mem.Fault.plan: negative countdown";
     (match quota_bytes with
     | Some q when q < 0 -> invalid_arg "Mem.Fault.plan: negative quota"
     | Some _ | None -> ());
+    if decay_bytes < 0 || (decay_bytes > 0 && decay_bytes mod 4 <> 0) then
+      invalid_arg "Mem.Fault.plan: decay_bytes must be a non-negative word multiple";
     let probability, rng =
       match probability with
       | None -> (0., None)
       | Some (p, seed) ->
           if p < 0. || p > 1. then invalid_arg "Mem.Fault.plan: probability out of [0,1]";
           (p, Some (Rng.create seed))
+    in
+    let commits, reads, writes =
+      match target with
+      | Commits -> (true, false, false)
+      | Reads -> (false, true, false)
+      | Writes -> (false, false, true)
+      | Access -> (false, true, true)
+      | All -> (true, true, true)
     in
     {
       countdown;
@@ -48,19 +74,57 @@ module Fault = struct
       quota_bytes = Option.value quota_bytes ~default:(-1);
       charged_bytes = 0;
       injected = 0;
+      commits;
+      reads;
+      writes;
+      decay_bytes;
+      decayed = [];
+      decay_tbl = Hashtbl.create 16;
+      read_faults = 0;
+      write_faults = 0;
     }
 
   let injected p = p.injected
   let charged_bytes p = p.charged_bytes
   let set_quota p q = p.quota_bytes <- q
+  let read_faults p = p.read_faults
+  let write_faults p = p.write_faults
+
+  let decayed_regions p =
+    List.rev_map (fun (lo, hi) -> (Addr.of_int lo, hi - lo)) p.decayed
+
+  let decayed_bytes p = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 p.decayed
+
+  (* Decayed regions are aligned [decay_bytes]-sized blocks, so overlap
+     reduces to membership of each covered block start — O(bytes/n), not
+     a scan of every region ever decayed. *)
+  let range_in_decay p a bytes =
+    p.decayed <> []
+    &&
+    let n = p.decay_bytes in
+    let first = a - (a mod n) and last_byte = a + bytes - 1 in
+    let last = last_byte - (last_byte mod n) in
+    let rec probe s = s <= last && (Hashtbl.mem p.decay_tbl s || probe (s + n)) in
+    probe first
 
   let pp ppf p =
-    Format.fprintf ppf "fault plan: countdown=%d%s p=%.3f quota=%s charged=%d injected=%d"
-      p.countdown
+    let targets =
+      String.concat "+"
+        (List.filter_map
+           (fun (armed, name) -> if armed then Some name else None)
+           [ (p.commits, "commits"); (p.reads, "reads"); (p.writes, "writes") ])
+    in
+    Format.fprintf ppf
+      "fault plan[%s]: countdown=%d%s p=%.3f quota=%s charged=%d injected=%d"
+      targets p.countdown
       (if p.rearm > 0 then Format.sprintf " (rearm %d)" p.rearm else "")
       p.probability
       (if p.quota_bytes < 0 then "none" else string_of_int p.quota_bytes)
-      p.charged_bytes p.injected
+      p.charged_bytes p.injected;
+    if p.reads || p.writes then
+      Format.fprintf ppf " reads=%d writes=%d" p.read_faults p.write_faults;
+    if p.decay_bytes > 0 then
+      Format.fprintf ppf " decay=%dB (%d decayed)" p.decay_bytes (decayed_bytes p)
 end
 
 exception
@@ -70,6 +134,16 @@ exception
     bytes : int;
     reason : Fault.reason;
   }
+
+exception Read_fault of { addr : Addr.t; value : int; reason : Fault.reason }
+exception Write_fault of { addr : Addr.t; bytes : int; reason : Fault.reason }
+
+(* The pattern a decayed region returns: 0xDE in every byte, so raw
+   (unguarded) scanners observe the same poison the typed faults report.
+   Chosen well outside any simulated heap so a conservative scan
+   classifies it as "not a pointer". *)
+let poison_byte = '\xDE'
+let poison_word = 0xDEDEDEDE
 
 type t = {
   endian : Endian.t;
@@ -93,27 +167,42 @@ let inject t (p : Fault.plan) ~op ~addr ~bytes reason =
   t.faults_injected <- t.faults_injected + 1;
   raise (Commit_failed { op; addr; bytes; reason })
 
+(* One consulted operation against the plan's shared trip state
+   (countdown stream, seeded probability, address predicate).  Commits
+   and guarded accesses draw from the same streams, so a plan armed for
+   [All] keeps one deterministic schedule across both.  A fired trip
+   aborts evaluation, matching the pre-access-fault behavior where
+   [inject] raised before later checks could draw. *)
+let consult (p : Fault.plan) ~addr : Fault.reason option =
+  let fired = ref None in
+  if p.Fault.countdown > 0 then begin
+    p.Fault.countdown <- p.Fault.countdown - 1;
+    if p.Fault.countdown = 0 then begin
+      p.Fault.countdown <- p.Fault.rearm;
+      fired := Some Fault.Countdown
+    end
+  end;
+  (if !fired = None then
+     match p.Fault.rng with
+     | Some rng when Rng.chance rng p.Fault.probability -> fired := Some Fault.Chance
+     | Some _ | None -> ());
+  (if !fired = None then
+     match p.Fault.addr_pred with
+     | Some pred when pred addr -> fired := Some Fault.Address
+     | Some _ | None -> ());
+  !fired
+
 (* Consult the installed plan for one chargeable operation.  The quota
    is checked last so a countdown or predicate failure never debits it;
    a successful charge debits [bytes] against the quota. *)
 let charge t ~op ~addr ~bytes ~against_quota =
   match t.fault_plan with
   | None -> ()
+  | Some p when not p.Fault.commits -> ()
   | Some p ->
-      if p.Fault.countdown > 0 then begin
-        p.Fault.countdown <- p.Fault.countdown - 1;
-        if p.Fault.countdown = 0 then begin
-          p.Fault.countdown <- p.Fault.rearm;
-          inject t p ~op ~addr ~bytes Fault.Countdown
-        end
-      end;
-      (match p.Fault.rng with
-      | Some rng when Rng.chance rng p.Fault.probability ->
-          inject t p ~op ~addr ~bytes Fault.Chance
-      | Some _ | None -> ());
-      (match p.Fault.addr_pred with
-      | Some pred when pred addr -> inject t p ~op ~addr ~bytes Fault.Address
-      | Some _ | None -> ());
+      (match consult p ~addr with
+      | Some reason -> inject t p ~op ~addr ~bytes reason
+      | None -> ());
       if against_quota then begin
         if p.Fault.quota_bytes >= 0 && p.Fault.charged_bytes + bytes > p.Fault.quota_bytes then
           inject t p ~op ~addr ~bytes Fault.Quota;
@@ -127,6 +216,86 @@ let uncommit t ~addr ~bytes =
   match t.fault_plan with
   | None -> ()
   | Some p -> p.Fault.charged_bytes <- max 0 (p.Fault.charged_bytes - bytes)
+
+(* --- read/write access faults --------------------------------------- *)
+
+let read_faults_armed t =
+  match t.fault_plan with Some p -> p.Fault.reads | None -> false
+
+let write_faults_armed t =
+  match t.fault_plan with Some p -> p.Fault.writes | None -> false
+
+let access_faults_armed t = read_faults_armed t || write_faults_armed t
+
+let note_access_fault t (p : Fault.plan) dir =
+  (match dir with
+  | `Read -> p.Fault.read_faults <- p.Fault.read_faults + 1
+  | `Write -> p.Fault.write_faults <- p.Fault.write_faults + 1);
+  p.Fault.injected <- p.Fault.injected + 1;
+  t.faults_injected <- t.faults_injected + 1
+
+(* Permanently decay the aligned [decay_bytes] region containing [addr]:
+   record it in the plan (so further guarded accesses report [Decayed])
+   and physically overwrite the mapped bytes with the poison pattern, so
+   raw scanners — the mark fast path reads segment bytes directly — see
+   exactly what the typed fault reports. *)
+let decay_region t (p : Fault.plan) addr =
+  let a = Addr.to_int addr in
+  let n = p.Fault.decay_bytes in
+  let lo = a - (a mod n) in
+  let hi = lo + n in
+  p.Fault.decayed <- (lo, hi) :: p.Fault.decayed;
+  Hashtbl.replace p.Fault.decay_tbl lo ();
+  Array.iter
+    (fun seg ->
+      let slo = max lo (Addr.to_int (Segment.base seg))
+      and shi = min hi (Addr.to_int (Segment.limit seg)) in
+      if slo < shi then Segment.fill seg (Addr.of_int slo) ~len:(shi - slo) poison_byte)
+    t.segs
+
+(* Consult the plan for one guarded access of [bytes] at [addr] without
+   raising.  Returns the fault reason when the access must fail; the
+   caller decides how to surface it (the marker downgrades, [guard_read]
+   and [guard_write] raise the typed exceptions). *)
+let probe_access t dir ~addr ~bytes =
+  match t.fault_plan with
+  | None -> None
+  | Some p ->
+      let armed = match dir with `Read -> p.Fault.reads | `Write -> p.Fault.writes in
+      if not armed then None
+      else if Fault.range_in_decay p (Addr.to_int addr) bytes then begin
+        note_access_fault t p dir;
+        Some Fault.Decayed
+      end
+      else
+        match consult p ~addr with
+        | None -> None
+        | Some reason ->
+            if p.Fault.decay_bytes > 0 then decay_region t p addr;
+            note_access_fault t p dir;
+            Some reason
+
+(* Pure query: does [addr, addr+bytes) overlap a decayed region?  No
+   trip state is consumed and nothing is counted, so callers can
+   distinguish "that memory rotted" from a transient refusal without
+   perturbing the plan. *)
+let range_decayed t addr ~bytes =
+  match t.fault_plan with
+  | None -> false
+  | Some p -> Fault.range_in_decay p (Addr.to_int addr) bytes
+
+let probe_read t addr = probe_access t `Read ~addr ~bytes:4
+let probe_write ?(bytes = 4) t addr = probe_access t `Write ~addr ~bytes
+
+let guard_read t addr =
+  match probe_read t addr with
+  | None -> ()
+  | Some reason -> raise (Read_fault { addr; value = poison_word; reason })
+
+let guard_write ?(bytes = 4) t addr =
+  match probe_write ~bytes t addr with
+  | None -> ()
+  | Some reason -> raise (Write_fault { addr; bytes; reason })
 
 let overlaps a b =
   Addr.to_int (Segment.base a) < Addr.to_int (Segment.limit b)
@@ -192,10 +361,23 @@ let get t a =
   | Some seg -> seg
   | None -> invalid_arg (Printf.sprintf "Mem: unmapped address %s" (Addr.to_string a))
 
-let read_word t a = Segment.read_word (get t a) a
-let write_word t a v = Segment.write_word (get t a) a v
-let read_u8 t a = Segment.read_u8 (get t a) a
-let write_u8 t a v = Segment.write_u8 (get t a) a v
+let read_word t a =
+  guard_read t a;
+  Segment.read_word (get t a) a
+
+let write_word t a v =
+  guard_write t a;
+  Segment.write_word (get t a) a v
+
+let read_u8 t a =
+  (match probe_access t `Read ~addr:a ~bytes:1 with
+  | None -> ()
+  | Some reason -> raise (Read_fault { addr = a; value = Char.code poison_byte; reason }));
+  Segment.read_u8 (get t a) a
+
+let write_u8 t a v =
+  guard_write ~bytes:1 t a;
+  Segment.write_u8 (get t a) a v
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>address space (%s-endian):@," (Endian.to_string t.endian);

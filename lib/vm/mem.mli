@@ -12,7 +12,16 @@
     {!map} fail deterministically — by countdown, seeded probability,
     address predicate, or a byte quota standing in for an OS memory
     limit — so collector robustness under memory pressure is testable
-    rather than incidental. *)
+    rather than incidental.
+
+    Plans can also target the {e read/write} path: a tripped guarded
+    read models an uncorrectable ECC error (the access raises
+    {!Read_fault}; memory itself is untouched, so results return to
+    normal once the plan is lifted), and with [decay_bytes] set the
+    tripped access permanently decays a whole region — the mapped bytes
+    are overwritten with {!poison_word}'s byte pattern and every further
+    guarded access there fails with reason {!Fault.Decayed}, modeling a
+    mapping that has rotted out from under the process. *)
 
 type t
 
@@ -30,8 +39,16 @@ module Fault : sig
     | Chance  (** the seeded per-charge probability fired *)
     | Address  (** the address predicate matched *)
     | Quota  (** the byte quota would be exceeded *)
+    | Decayed  (** the access landed in an already-decayed region *)
 
   val reason_to_string : reason -> string
+
+  type target =
+    | Commits  (** commit/map charges only (the PR 3 behavior) *)
+    | Reads  (** guarded reads only *)
+    | Writes  (** guarded writes only *)
+    | Access  (** guarded reads and writes *)
+    | All  (** commits and guarded accesses, one shared trip stream *)
 
   type plan
 
@@ -41,6 +58,8 @@ module Fault : sig
     ?probability:float * int ->
     ?addr_pred:(Addr.t -> bool) ->
     ?quota_bytes:int ->
+    ?target:target ->
+    ?decay_bytes:int ->
     unit ->
     plan
   (** A deterministic, seeded fault plan.
@@ -53,7 +72,17 @@ module Fault : sig
       - [quota_bytes q]: cumulative committed bytes (commits minus
         {!uncommit} refunds, counted from plan installation) may not
         exceed [q]; a commit that would cross the quota fails without
-        debiting it — exactly an OS refusing to commit more memory. *)
+        debiting it — exactly an OS refusing to commit more memory.
+      - [target] (default [Commits]): which operations the plan arms.
+        Countdown, probability, and predicate draw from one shared
+        stream across all armed operations; the quota only ever applies
+        to commits.
+      - [decay_bytes n] (word multiple, default 0): when a guarded
+        access trips, the aligned [n]-byte region containing it decays
+        permanently — its mapped bytes are poisoned and later guarded
+        accesses fail with reason {!Decayed}.  With [0], a tripped read
+        is a transient single-word ECC corruption and a tripped write is
+        a one-off refusal; memory contents are left intact. *)
 
   val injected : plan -> int
   (** Faults this plan has injected so far. *)
@@ -63,6 +92,19 @@ module Fault : sig
 
   val set_quota : plan -> int -> unit
   (** Adjust the quota in place (negative = unlimited). *)
+
+  val read_faults : plan -> int
+  (** Guarded reads this plan has faulted (ECC trips plus decayed hits). *)
+
+  val write_faults : plan -> int
+  (** Guarded writes this plan has faulted. *)
+
+  val decayed_regions : plan -> (Addr.t * int) list
+  (** Regions this plan has decayed, as [(base, bytes)] pairs in decay
+      order. *)
+
+  val decayed_bytes : plan -> int
+  (** Total bytes across all decayed regions. *)
 
   val pp : Format.formatter -> plan -> unit
 end
@@ -77,6 +119,25 @@ exception
 (** An injected commit/map failure.  The collector's allocation ladder
     absorbs these; they escape to user code only through components that
     do not guard their commits. *)
+
+exception Read_fault of { addr : Addr.t; value : int; reason : Fault.reason }
+(** An injected read failure.  [value] is the poison pattern the
+    corrupted location yielded ({!poison_word} for word reads).  The
+    marker absorbs these by downgrading the word to "not a pointer";
+    they reach user code through {!read_word} and collector field
+    accessors. *)
+
+exception Write_fault of { addr : Addr.t; bytes : int; reason : Fault.reason }
+(** An injected write failure: the store did {e not} happen.  The
+    collector's allocation path absorbs these by quarantining the
+    decayed page and retrying; they reach user code through
+    {!write_word} and collector field accessors. *)
+
+val poison_word : int
+(** The 32-bit pattern a decayed region returns ([0xDEDEDEDE]): every
+    byte is [0xDE], so word reads at any alignment observe it, and it
+    lies outside any simulated heap so a conservative scan classifies it
+    as "not a pointer". *)
 
 val set_fault_plan : t -> Fault.plan option -> unit
 (** Install (or clear) the fault plan.  Quota accounting starts from
@@ -94,6 +155,37 @@ val commit : t -> addr:Addr.t -> bytes:int -> unit
 val uncommit : t -> addr:Addr.t -> bytes:int -> unit
 (** Refund committed bytes to the quota (the heap returning pages to the
     OS).  Never fails. *)
+
+val read_faults_armed : t -> bool
+(** Whether the installed plan (if any) arms guarded reads.  Scan loops
+    consult this once per range to keep the fault-free fast path free of
+    per-word plan checks. *)
+
+val write_faults_armed : t -> bool
+(** Whether the installed plan (if any) arms guarded writes. *)
+
+val access_faults_armed : t -> bool
+(** [read_faults_armed || write_faults_armed]. *)
+
+val probe_read : t -> Addr.t -> Fault.reason option
+(** Consult the plan for one guarded word read at the address without
+    raising.  [Some reason] means the read faulted (the trip state was
+    consumed and per-plan stats were counted); the caller chooses how to
+    surface it — the marker downgrades, {!guard_read} raises. *)
+
+val probe_write : ?bytes:int -> t -> Addr.t -> Fault.reason option
+(** Same for one guarded write of [bytes] (default 4) at the address.
+    A write overlapping a decayed region faults with {!Fault.Decayed}. *)
+
+val guard_read : t -> Addr.t -> unit
+(** {!probe_read}, raising {!Read_fault} on a trip. *)
+
+val guard_write : ?bytes:int -> t -> Addr.t -> unit
+(** {!probe_write}, raising {!Write_fault} on a trip. *)
+
+val range_decayed : t -> Addr.t -> bytes:int -> bool
+(** Whether [addr, addr+bytes) overlaps a decayed region.  A pure query:
+    no trip state is consumed, nothing is counted. *)
 
 (** {1 Address space} *)
 
@@ -126,9 +218,11 @@ val is_mapped : t -> Addr.t -> bool
 
 val read_word : t -> Addr.t -> int
 (** Read a 32-bit word at any mapped (possibly unaligned) address.
-    @raise Invalid_argument if unmapped or crossing a segment end. *)
+    @raise Invalid_argument if unmapped or crossing a segment end.
+    @raise Read_fault if the installed plan faults the read. *)
 
 val write_word : t -> Addr.t -> int -> unit
+(** @raise Write_fault if the installed plan faults the write. *)
 
 val read_u8 : t -> Addr.t -> int
 val write_u8 : t -> Addr.t -> int -> unit

@@ -88,6 +88,69 @@ let test_ladder_counters_visible () =
     (s.Cgc.Stats.ladder_collects > 0 || s.Cgc.Stats.ladder_trims > 0
    || s.Cgc.Stats.ladder_expansions > 0)
 
+(* --- cross-collector chaos ------------------------------------------ *)
+
+(* The full collector x scenario x plan matrix (commit, read, write and
+   decay plans against the conservative, generational and explicit
+   backends), every cell asserted clean. *)
+let test_cross_collector_matrix () =
+  let outcomes = Chaos.run_matrix ~steps:500 ~seed:1993 () in
+  List.iter outcome_clean outcomes;
+  let collectors = List.sort_uniq compare (List.map (fun o -> o.Chaos.collector) outcomes) in
+  Alcotest.(check (list string))
+    "all three backends ran" [ "conservative"; "explicit"; "generational" ] collectors;
+  check bool "faults were injected across the matrix" true
+    (List.exists (fun o -> o.Chaos.faults_injected > 0) outcomes)
+
+let access_cell ?(collector = Chaos.Conservative) ~plan ~expect_faults () =
+  let o =
+    Chaos.run_scenario ~steps:900 ~collector ~seed:404 ~scenario:"eager"
+      ~config:Chaos.base_config ~plan ()
+  in
+  outcome_clean o;
+  if expect_faults then
+    check bool
+      (Printf.sprintf "%s x %s: plan fired" o.Chaos.collector o.Chaos.plan)
+      true (o.Chaos.faults_injected > 0);
+  o
+
+let test_read_chance_fires () =
+  let o =
+    access_cell ~plan:(Chaos.Read_chance { probability = 0.001; seed = 5 }) ~expect_faults:true ()
+  in
+  check bool "downgrades counted" true (o.Chaos.stats.Cgc.Stats.mark_downgrades > 0)
+
+let test_read_decay_survived () =
+  let o =
+    access_cell ~plan:(Chaos.Read_decay { every = 1500; region = 256 }) ~expect_faults:true ()
+  in
+  check bool "reads faulted" true (o.Chaos.stats.Cgc.Stats.read_faults > 0)
+
+let test_write_decay_quarantines () =
+  let o =
+    access_cell ~plan:(Chaos.Write_decay { every = 30; region = 512 }) ~expect_faults:true ()
+  in
+  check bool "pages quarantined" true (o.Chaos.stats.Cgc.Stats.pages_decayed > 0);
+  check bool "allocation retried past the decay" true
+    (o.Chaos.stats.Cgc.Stats.decay_retries > 0)
+
+let test_generational_survives_decay () =
+  ignore
+    (access_cell ~collector:Chaos.Generational
+       ~plan:(Chaos.Read_decay { every = 1500; region = 256 })
+       ~expect_faults:true ()
+      : Chaos.outcome)
+
+let test_explicit_typed_oom_under_commit_faults () =
+  let o =
+    access_cell ~collector:Chaos.Explicit
+      ~plan:(Chaos.Countdown { every = 5 })
+      ~expect_faults:true ()
+  in
+  (* the explicit baseline has no escalation ladder: every refused commit
+     surfaces as its typed Out_of_memory, never as Mem.Commit_failed *)
+  check bool "refusals surfaced as typed OOM" true (o.Chaos.ooms_caught > 0)
+
 (* Table 1 under early faults: a one-shot countdown plan fails a commit
    early in program T, then disarms.  The ladder absorbs the fault and
    the experiment must land in the same bands as test_workloads pins
@@ -105,6 +168,21 @@ let test_retention_bands_after_faults () =
   check bool "blacklisting band: few lists leak" true (with_bl.W_program_t.retained <= 4);
   check bool "no-blacklisting band: most lists leak" true (without_bl.W_program_t.retained > 10)
 
+(* Same bands under ECC read faults: a one-shot Reads plan downgrades a
+   word early in program T, then disarms; memory is intact, so the
+   experiment still lands in the pinned retention bands. *)
+let test_retention_bands_after_read_faults () =
+  let p = W_platform.sparc_static ~optimized:false in
+  let prepare env =
+    Mem.set_fault_plan env.W_platform.mem
+      (Some (Mem.Fault.plan ~countdown:200 ~target:Mem.Fault.Reads ()))
+  in
+  let with_bl = W_program_t.run ~blacklisting:true ~prepare ~lists:40 ~nodes:1500 p in
+  let without_bl = W_program_t.run ~blacklisting:false ~prepare ~lists:40 ~nodes:1500 p in
+  check bool "fault-era collections happened" true (with_bl.W_program_t.collections > 0);
+  check bool "blacklisting band holds" true (with_bl.W_program_t.retained <= 4);
+  check bool "no-blacklisting band holds" true (without_bl.W_program_t.retained > 10)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -118,5 +196,19 @@ let () =
           Alcotest.test_case "ladder counters visible" `Quick test_ladder_counters_visible;
           Alcotest.test_case "table-1 bands survive early faults" `Slow
             test_retention_bands_after_faults;
+        ] );
+      ( "cross-collector",
+        [
+          Alcotest.test_case "full collector x plan matrix clean" `Slow
+            test_cross_collector_matrix;
+          Alcotest.test_case "read-chance plan downgrades, survives" `Quick test_read_chance_fires;
+          Alcotest.test_case "read-decay plan survives" `Quick test_read_decay_survived;
+          Alcotest.test_case "write-decay quarantines pages" `Quick test_write_decay_quarantines;
+          Alcotest.test_case "generational survives read decay" `Quick
+            test_generational_survives_decay;
+          Alcotest.test_case "explicit: commit faults surface typed" `Quick
+            test_explicit_typed_oom_under_commit_faults;
+          Alcotest.test_case "table-1 bands survive read faults" `Slow
+            test_retention_bands_after_read_faults;
         ] );
     ]

@@ -241,7 +241,9 @@ let test_park_twice_rejected () =
     (try
        Machine.park m ~words:4;
        false
-     with Failure _ -> true);
+     with Machine.Already_parked _ -> true);
+  (* the rejected call left the machine untouched *)
+  check bool "still parked" true (Machine.parked m);
   Machine.unpark m;
   Machine.unpark m (* no-op *)
 

@@ -580,6 +580,57 @@ let prop_clearing_monotone =
              <= An.Liveness.ISet.cardinal u.An.Apparent.apparent)
            plain cleared)
 
+(* --- a single read fault loses at most one object's cone --- *)
+
+(* The marker downgrades a faulted word to "not a pointer", so one
+   injected read fault can sever at most one edge (or one root slot) of
+   the reachability graph: whatever un-marks must be the transitive cone
+   of a single lost object.  And since ECC faults leave memory intact,
+   re-marking with the plan lifted must reproduce the fault-free marked
+   set bit for bit. *)
+let prop_read_fault_cone =
+  QCheck.Test.make ~count:150 ~name:"one read fault loses at most one object's cone"
+    (QCheck.make QCheck.Gen.(pair graph_gen (int_range 1 400)))
+    (fun (g, k) ->
+      let gc, objs = build_graph_env g in
+      let mem = Gc.mem gc in
+      let marked () = Array.map (Gc.Internal.is_marked gc) objs in
+      Gc.Internal.run_mark gc;
+      let m0 = marked () in
+      Mem.set_fault_plan mem (Some (Mem.Fault.plan ~countdown:k ~target:Mem.Fault.Reads ()));
+      Gc.Internal.run_mark gc;
+      Mem.set_fault_plan mem None;
+      let m1 = marked () in
+      let n = Array.length objs in
+      let subset = ref true in
+      for i = 0 to n - 1 do
+        if m1.(i) && not m0.(i) then subset := false
+      done;
+      let lost = List.filter (fun i -> m0.(i) && not m1.(i)) (List.init n Fun.id) in
+      let edges = final_edges g in
+      let cone r =
+        let seen = Array.make n false in
+        let rec visit i =
+          if not seen.(i) then begin
+            seen.(i) <- true;
+            List.iter (fun (s, d) -> if s = i then visit d) edges
+          end
+        in
+        visit r;
+        seen
+      in
+      let cone_ok =
+        lost = []
+        || List.exists
+             (fun r ->
+               let c = cone r in
+               List.for_all (fun i -> c.(i)) lost)
+             lost
+      in
+      Gc.Internal.run_mark gc;
+      let m2 = marked () in
+      !subset && cone_ok && m2 = m0)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -603,6 +654,7 @@ let suite =
       prop_lazy_matches_eager;
       prop_analyzer_sound;
       prop_clearing_monotone;
+      prop_read_fault_cone;
     ]
 
 let () = Alcotest.run "props" [ ("properties", suite) ]

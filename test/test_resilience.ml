@@ -283,6 +283,215 @@ let test_check_after_fault_on_healthy_heap () =
   Gc.collect gc;
   check int "no findings on a healthy heap" 0 (List.length (Verify.check_after_fault gc))
 
+(* --- read/write fault boundary -------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_read_fault_typed () =
+  let mem = Mem.create () in
+  let seg =
+    Mem.map mem ~name:"data" ~kind:Segment.Static_data ~base:(Addr.of_int 0x8000) ~size:0x1000
+  in
+  Segment.write_word seg (Addr.of_int 0x8000) 0xABCD;
+  Mem.set_fault_plan mem (Some (Mem.Fault.plan ~countdown:2 ~target:Mem.Fault.Reads ()));
+  check int "1st read ok" 0xABCD (Mem.read_word mem (Addr.of_int 0x8000));
+  (match Mem.read_word mem (Addr.of_int 0x8000) with
+  | (_ : int) -> Alcotest.fail "second read should fault"
+  | exception Mem.Read_fault { value; reason = Mem.Fault.Countdown; _ } ->
+      check int "faulted read reports the poison word" Mem.poison_word value);
+  (* ECC-style: transient, the memory itself is intact *)
+  check int "3rd read sees the original word" 0xABCD (Mem.read_word mem (Addr.of_int 0x8000));
+  (* a Reads-target plan must not touch the commit boundary *)
+  Mem.commit mem ~addr:(Addr.of_int 0x8000) ~bytes:page;
+  let p = Option.get (Mem.fault_plan mem) in
+  check int "read fault counted on the plan" 1 (Mem.Fault.read_faults p);
+  check int "no write faults" 0 (Mem.Fault.write_faults p)
+
+let test_write_fault_store_lost () =
+  let mem = Mem.create () in
+  let seg =
+    Mem.map mem ~name:"data" ~kind:Segment.Static_data ~base:(Addr.of_int 0x8000) ~size:0x1000
+  in
+  Segment.write_word seg (Addr.of_int 0x8000) 7;
+  Mem.set_fault_plan mem (Some (Mem.Fault.plan ~countdown:1 ~target:Mem.Fault.Writes ()));
+  (match Mem.write_word mem (Addr.of_int 0x8000) 99 with
+  | () -> Alcotest.fail "first write should fault"
+  | exception Mem.Write_fault { bytes; reason = Mem.Fault.Countdown; _ } ->
+      check int "fault names the store width" 4 bytes);
+  check int "the faulted store did not land" 7 (Segment.read_word seg (Addr.of_int 0x8000));
+  Mem.write_word mem (Addr.of_int 0x8000) 99;
+  check int "plan spent, store lands" 99 (Segment.read_word seg (Addr.of_int 0x8000))
+
+let test_decay_poisons_and_persists () =
+  let mem = Mem.create () in
+  let seg =
+    Mem.map mem ~name:"data" ~kind:Segment.Static_data ~base:(Addr.of_int 0x8000) ~size:0x1000
+  in
+  Segment.write_word seg (Addr.of_int 0x8010) 0x1234;
+  let plan = Mem.Fault.plan ~countdown:1 ~target:Mem.Fault.Reads ~decay_bytes:64 () in
+  Mem.set_fault_plan mem (Some plan);
+  (match Mem.read_word mem (Addr.of_int 0x8010) with
+  | (_ : int) -> Alcotest.fail "tripped read should fault"
+  | exception Mem.Read_fault _ -> ());
+  (* the aligned 64-byte region is physically poisoned... *)
+  check int "decayed bytes recorded" 64 (Mem.Fault.decayed_bytes plan);
+  check int "mapped bytes poisoned" Mem.poison_word (Segment.read_word seg (Addr.of_int 0x8000));
+  check bool "range query sees the decay" true
+    (Mem.range_decayed mem (Addr.of_int 0x803C) ~bytes:4);
+  check bool "outside the region is intact" false
+    (Mem.range_decayed mem (Addr.of_int 0x8040) ~bytes:4);
+  (* ...and every further guarded access there reports Decayed, even
+     though the countdown is long spent *)
+  (match Mem.read_word mem (Addr.of_int 0x8020) with
+  | (_ : int) -> Alcotest.fail "decayed region must keep faulting"
+  | exception Mem.Read_fault { reason = Mem.Fault.Decayed; _ } -> ());
+  (* removing the plan ends the faulting; the poison stays as plain data *)
+  Mem.set_fault_plan mem None;
+  check int "unguarded read returns the poison" Mem.poison_word
+    (Mem.read_word mem (Addr.of_int 0x8010))
+
+let test_mark_survives_read_faults () =
+  let config = { Config.default with Config.initial_pages = 8 } in
+  let mem, gc, globals = make_gc ~config ~pages:32 () in
+  (* a live chain the marker must traverse *)
+  let head = ref 0 in
+  for _ = 1 to 200 do
+    let a = Gc.allocate gc 16 in
+    Gc.set_field gc a 0 !head;
+    head := Addr.to_int a
+  done;
+  set_slot globals 0 !head;
+  Mem.set_fault_plan mem
+    (Some (Mem.Fault.plan ~countdown:50 ~rearm:true ~target:Mem.Fault.Reads ()));
+  Gc.collect gc;
+  Mem.set_fault_plan mem None;
+  let s = Gc.stats gc in
+  check bool "read faults hit the scan" true (s.Stats.read_faults > 0);
+  check bool "each was downgraded, not fatal" true
+    (s.Stats.mark_downgrades >= s.Stats.read_faults);
+  check int "heap coherent after the faulted collection" 0
+    (List.length (Verify.check_after_fault gc));
+  (* a fault-free collection fully restores the live set *)
+  Gc.collect gc;
+  check bool "chain head still live" true (Gc.is_allocated gc (Addr.of_int !head))
+
+let test_write_decay_quarantines_and_retries () =
+  let config = { Config.default with Config.initial_pages = 4 } in
+  let mem, gc, _ = make_gc ~config ~pages:16 () in
+  Mem.set_fault_plan mem
+    (Some (Mem.Fault.plan ~countdown:1 ~target:Mem.Fault.Writes ~decay_bytes:512 ()));
+  (* the first zero-on-alloc write decays its region; the allocator must
+     quarantine the slot and serve the request from healthy memory *)
+  let a = Gc.allocate gc 16 in
+  check bool "allocation survived the decay" true (Gc.is_allocated gc a);
+  check bool "slot came from outside the decayed region" false
+    (Mem.range_decayed mem a ~bytes:16);
+  let s = Gc.stats gc in
+  check bool "write fault counted" true (s.Stats.write_faults > 0);
+  check bool "retry counted" true (s.Stats.decay_retries > 0);
+  check bool "page quarantined" true (s.Stats.pages_decayed > 0);
+  check int "quarantine left the heap coherent" 0 (List.length (Verify.check_after_fault gc));
+  (* quarantined pages stay off every placement path *)
+  Mem.set_fault_plan mem None;
+  for _ = 1 to 50 do
+    let b = Gc.allocate gc 16 in
+    check bool "no allocation lands on decayed memory" false (Mem.range_decayed mem b ~bytes:16)
+  done
+
+let test_memory_decayed_diagnosis () =
+  let config = { Config.default with Config.initial_pages = 2; min_expand_pages = 1 } in
+  let mem, gc, _ = make_gc ~config ~pages:4 () in
+  (* every write decays a whole page: each attempt quarantines another
+     page until the ladder runs completely dry *)
+  Mem.set_fault_plan mem
+    (Some
+       (Mem.Fault.plan ~probability:(1.0, 7) ~target:Mem.Fault.Writes ~decay_bytes:page ()));
+  (match
+     let rec go n = if n = 0 then None else
+       match Gc.allocate gc 16 with
+       | (_ : Addr.t) -> go (n - 1)
+       | exception Gc.Out_of_memory d -> Some d
+     in
+     go 64
+   with
+  | None -> Alcotest.fail "4 decaying pages cannot keep serving allocations"
+  | Some d ->
+      check bool "diagnosed as decayed memory" true d.Gc.memory_decayed;
+      check bool "quarantined pages counted" true (d.Gc.pages_decayed > 0);
+      check bool "message names the decay" true (contains (Gc.oom_message d) "memory-decayed"));
+  (* the heap is still coherent and, with the plan lifted, usable *)
+  Mem.set_fault_plan mem None;
+  check int "coherent after ladder death" 0 (List.length (Verify.check_after_fault gc))
+
+let test_explicit_absorbs_commit_fault () =
+  let mem = Mem.create () in
+  let e =
+    Cgc.Explicit.create mem ~base:(Addr.of_int 0x400000) ~max_bytes:(16 * page) ()
+  in
+  let a = Cgc.Explicit.malloc e 16 in
+  Mem.set_fault_plan mem (Some (Mem.Fault.plan ~countdown:1 ()));
+  (* force page acquisition: a large object always commits fresh pages *)
+  (match Cgc.Explicit.malloc e (4 * page) with
+  | (_ : Addr.t) -> Alcotest.fail "the commit fault must surface"
+  | exception Cgc.Explicit.Out_of_memory msg ->
+      check bool "typed, with the injected reason" true (contains msg "refused the commit")
+  | exception Mem.Commit_failed _ ->
+      Alcotest.fail "untyped Commit_failed escaped the explicit allocator");
+  Mem.set_fault_plan mem None;
+  check bool "allocator still coherent" true (Cgc.Explicit.is_allocated e a);
+  check int "heap-level audit clean" 0
+    (List.length (Verify.check_heap (Cgc.Explicit.heap e)))
+
+let test_explicit_field_faults_typed () =
+  let mem = Mem.create () in
+  let e = Cgc.Explicit.create mem ~base:(Addr.of_int 0x400000) ~max_bytes:(16 * page) () in
+  let a = Cgc.Explicit.malloc e 16 in
+  Cgc.Explicit.set_field e a 0 42;
+  Mem.set_fault_plan mem (Some (Mem.Fault.plan ~countdown:1 ~target:Mem.Fault.Access ()));
+  (match Cgc.Explicit.get_field e a 0 with
+  | (_ : int) -> Alcotest.fail "guarded read should fault"
+  | exception Mem.Read_fault _ -> ());
+  check int "field intact after the transient fault" 42 (Cgc.Explicit.get_field e a 0)
+
+let test_generational_dirty_only_after_store () =
+  let config = { Config.default with Config.initial_pages = 8 } in
+  let mem, gc, globals = make_gc ~config ~pages:32 () in
+  Gc.set_auto_collect gc false;
+  let g = Cgc.Generational.create gc in
+  let a = Cgc.Generational.allocate g 16 in
+  set_slot globals 0 (Addr.to_int a);
+  (* two minor collections promote the object's page *)
+  Cgc.Generational.minor g;
+  Cgc.Generational.minor g;
+  check bool "object promoted" true (Cgc.Generational.is_old g a);
+  check (Alcotest.list int) "no dirty pages before any store" []
+    (Cgc.Generational.dirty_pages g);
+  (* the regression: a faulted store must NOT mark the page dirty *)
+  Mem.set_fault_plan mem
+    (Some (Mem.Fault.plan ~probability:(1.0, 3) ~target:Mem.Fault.Writes ()));
+  (match Cgc.Generational.set_field g a 0 (Addr.to_int a) with
+  | () -> Alcotest.fail "the store should fault"
+  | exception Mem.Write_fault _ -> ());
+  check (Alcotest.list int) "faulted store left the dirty set empty" []
+    (Cgc.Generational.dirty_pages g);
+  (* a successful store does set the bit *)
+  Mem.set_fault_plan mem None;
+  Cgc.Generational.set_field g a 0 (Addr.to_int a);
+  check bool "successful store dirtied the page" true (Cgc.Generational.dirty_pages g <> [])
+
+let test_already_parked_typed () =
+  let m = make_machine () in
+  Machine.park m ~words:16;
+  (match Machine.park m ~words:8 with
+  | () -> Alcotest.fail "double park must be rejected"
+  | exception Machine.Already_parked _ -> ());
+  check bool "machine still parked" true (Machine.parked m);
+  Machine.unpark m;
+  check bool "and still usable" false (Machine.parked m)
+
 let () =
   Alcotest.run "resilience"
     [
@@ -316,5 +525,22 @@ let () =
             test_ladder_absorbs_commit_fault;
           Alcotest.test_case "check_after_fault quiet on healthy heap" `Quick
             test_check_after_fault_on_healthy_heap;
+        ] );
+      ( "read/write faults",
+        [
+          Alcotest.test_case "read fault is typed and transient" `Quick test_read_fault_typed;
+          Alcotest.test_case "write fault loses the store" `Quick test_write_fault_store_lost;
+          Alcotest.test_case "decay poisons and persists" `Quick test_decay_poisons_and_persists;
+          Alcotest.test_case "marker survives read faults" `Quick test_mark_survives_read_faults;
+          Alcotest.test_case "write decay quarantines and retries" `Quick
+            test_write_decay_quarantines_and_retries;
+          Alcotest.test_case "oom diagnosis: memory decayed" `Quick test_memory_decayed_diagnosis;
+          Alcotest.test_case "explicit absorbs commit faults" `Quick
+            test_explicit_absorbs_commit_fault;
+          Alcotest.test_case "explicit field faults are typed" `Quick
+            test_explicit_field_faults_typed;
+          Alcotest.test_case "generational dirty bit only after store" `Quick
+            test_generational_dirty_only_after_store;
+          Alcotest.test_case "park twice is typed" `Quick test_already_parked_typed;
         ] );
     ]
