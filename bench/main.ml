@@ -9,18 +9,20 @@
 
    Sections: table1 fig1 fig34 stack-clearing structures sweep
              large-object dual-run fragmentation generational
-             pcr-threads ablations overhead mark resilience timing
+             pcr-threads ablations overhead mark resilience
+             starvation timing
 
    Flags: --paper-scale   full 25000-cell lists (slow)
           --seeds N       range over N seeds in table 1
           --smoke         heavily down-scaled runs (CI)
           --json          also write a JSON summary
-          --json-out F    JSON destination (default BENCH_pr4.json)
+          --json-out F    JSON destination (default BENCH_pr6.json)
           --collector C   restrict the resilience matrix to one backend
                           (conservative | generational | explicit | all) *)
 
 open Cgc_vm
 module W = Cgc_workloads
+module A = Cgc_analysis
 
 let seed = 1993
 
@@ -49,8 +51,8 @@ let json_write path =
   close_out oc;
   Format.printf "@.wrote %s@." path
 
-(* Differential guard: the fault-boundary work must not move Table 1.
-   When a previous summary (BENCH_pr3.json) sits next to the output,
+(* Differential guard: the analyzer work must not move Table 1.
+   When a previous summary (BENCH_pr4.json) sits next to the output,
    every retention figure present in both must be bit-identical. *)
 let read_json_fields path =
   let ic = open_in path in
@@ -78,7 +80,7 @@ let read_json_fields path =
   List.rev !fields
 
 let check_table1_parity json_out =
-  let reference = Filename.concat (Filename.dirname json_out) "BENCH_pr3.json" in
+  let reference = Filename.concat (Filename.dirname json_out) "BENCH_pr4.json" in
   if Sys.file_exists reference then begin
     let is_t1 (k, _) = String.length k >= 7 && String.sub k 0 7 = "table1_" in
     let prev = List.filter is_t1 (read_json_fields reference) in
@@ -636,6 +638,75 @@ let resilience ~smoke ?collectors () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Static starvation prediction vs the measured oom_diagnosis          *)
+(* ------------------------------------------------------------------ *)
+
+(* The analyzer's starvation predictor classifies each matrix scenario
+   from the recorded trace and a static collector model alone; the same
+   scenario then runs against the real collector, whose
+   [Gc.Out_of_memory] diagnosis (or successful ladder rescue) is the
+   measured column.  A drifting classifier shows up as a mismatch and
+   fails the bench; the per-scenario classes land in the JSON so CI
+   diffs catch silent reclassification too. *)
+let starvation () =
+  section "Starvation" "static OOM-diagnosis prediction vs the collector's verdict";
+  let entries = A.Scenarios.starvation_matrix () in
+  Format.printf "  %-18s | %-18s %-18s | %s@." "scenario" "predicted" "measured"
+    "collector diagnosis";
+  Format.printf "  %s@." (String.make 88 '-');
+  List.iter
+    (fun (e : A.Scenarios.matrix_entry) ->
+      Format.printf "  %-18s | %-18s %-18s | %s@.%!" e.A.Scenarios.m_name
+        (A.Starvation.class_name e.A.Scenarios.m_predicted)
+        (A.Starvation.class_name e.A.Scenarios.m_measured)
+        (match e.A.Scenarios.m_oom with
+        | Some d -> Cgc.Gc.oom_message d
+        | None ->
+            if e.A.Scenarios.m_ladder_rungs > 0 then
+              Printf.sprintf "rescued (%d ladder rungs)" e.A.Scenarios.m_ladder_rungs
+            else "no pressure"))
+    entries;
+  let agree =
+    List.filter (fun (e : A.Scenarios.matrix_entry) ->
+        e.A.Scenarios.m_predicted = e.A.Scenarios.m_measured)
+      entries
+  in
+  let ooms =
+    List.filter (fun (e : A.Scenarios.matrix_entry) -> e.A.Scenarios.m_oom <> None) entries
+  in
+  let decayed =
+    List.filter
+      (fun (e : A.Scenarios.matrix_entry) ->
+        match e.A.Scenarios.m_oom with
+        | Some d -> d.Cgc.Gc.memory_decayed
+        | None -> false)
+      entries
+  in
+  Format.printf "@.  %d/%d classifications agree; %d scenarios die of OOM (%d memory-decayed)@."
+    (List.length agree) (List.length entries) (List.length ooms) (List.length decayed);
+  json_int "starvation_scenarios" (List.length entries);
+  json_int "starvation_agree" (List.length agree);
+  json_int "starvation_ooms" (List.length ooms);
+  json_int "starvation_memory_decayed" (List.length decayed);
+  List.iter
+    (fun (e : A.Scenarios.matrix_entry) ->
+      json_string
+        (Printf.sprintf "starvation_%s_predicted" e.A.Scenarios.m_name)
+        (A.Starvation.class_name e.A.Scenarios.m_predicted);
+      json_string
+        (Printf.sprintf "starvation_%s_measured" e.A.Scenarios.m_name)
+        (A.Starvation.class_name e.A.Scenarios.m_measured))
+    entries;
+  Format.printf
+    "@.(the predictor sees only the trace: recorded allocation-site kinds, the static@.\
+     blacklist-bucket geometry, and any declared decay plan — never the collector's@.\
+     runtime state; agreement is the analyzer's cross-validation claim)@.";
+  if List.length agree <> List.length entries then begin
+    Format.eprintf "starvation: static prediction diverged from the collector@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suites (footnote 3's microbenchmarks)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -759,6 +830,7 @@ let all_sections =
     ("overhead", `Overhead);
     ("mark", `Mark);
     ("resilience", `Resilience);
+    ("starvation", `Starvation);
     ("timing", `Timing);
   ]
 
@@ -779,7 +851,7 @@ let () =
     let rec find = function
       | "--json-out" :: path :: _ -> path
       | _ :: rest -> find rest
-      | [] -> "BENCH_pr4.json"
+      | [] -> "BENCH_pr6.json"
     in
     find args
   in
@@ -849,6 +921,7 @@ let () =
       | `Overhead -> overhead ()
       | `Mark -> mark_throughput ~smoke ()
       | `Resilience -> resilience ~smoke ?collectors ()
+      | `Starvation -> starvation ()
       | `Timing -> timing ())
     selected;
   if json then begin

@@ -233,14 +233,14 @@ let chaos_cmd =
 
 module A = Cgc_analysis
 
-let run_analyze scenario selfcheck verbose =
+let run_analyze scenario selfcheck starvation fix json verbose =
   if selfcheck then begin
     let checks, outcomes = A.Scenarios.selfcheck () in
     if verbose then
       List.iter
         (fun (o : A.Scenarios.outcome) ->
           Format.printf "=== %s ===@.%s@.%a@." o.A.Scenarios.o_name o.A.Scenarios.o_note
-            (A.Report.pp ~explain:(A.Scenarios.explain o))
+            (A.Report.pp ~explain:(A.Scenarios.explain o) ~fixes:true)
             o.A.Scenarios.o_analysis)
         outcomes;
     let failed = List.filter (fun (_, ok) -> not ok) checks in
@@ -251,7 +251,7 @@ let run_analyze scenario selfcheck verbose =
       (List.length checks);
     if failed <> [] then exit 1
   end
-  else
+  else begin
     let names =
       if scenario = "all" then A.Scenarios.names
       else if List.mem scenario A.Scenarios.names then [ scenario ]
@@ -261,15 +261,55 @@ let run_analyze scenario selfcheck verbose =
         exit 1
       end
     in
-    List.iter
-      (fun name ->
-        match A.Scenarios.run name with
-        | None -> ()
-        | Some o ->
-            Format.printf "=== %s ===@.%s@.%a@.%!" name o.A.Scenarios.o_note
-              (A.Report.pp ~explain:(A.Scenarios.explain o))
-              o.A.Scenarios.o_analysis)
-      names
+    let outcomes = List.filter_map A.Scenarios.run names in
+    let matrix = if starvation then Some (A.Scenarios.starvation_matrix ()) else None in
+    if json then begin
+      Format.printf "{\"scenarios\":[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           (fun ppf (o : A.Scenarios.outcome) ->
+             A.Report.json ~name:o.A.Scenarios.o_name ~replay:fix ppf o.A.Scenarios.o_analysis))
+        outcomes;
+      (match matrix with
+      | Some m -> Format.printf ",\"starvation_matrix\":%a" A.Report.json_matrix m
+      | None -> ());
+      Format.printf "}@.%!"
+    end
+    else begin
+      List.iter
+        (fun (o : A.Scenarios.outcome) ->
+          Format.printf "=== %s ===@.%s@.%a@.%!" o.A.Scenarios.o_name o.A.Scenarios.o_note
+            (A.Report.pp ~explain:(A.Scenarios.explain o) ~fixes:fix)
+            o.A.Scenarios.o_analysis;
+          if fix then
+            List.iter
+              (fun (f : A.Analysis.fix) ->
+                match f.A.Analysis.suggestion with
+                | Some s ->
+                    let cmp =
+                      A.Replay.compare_fix o.A.Scenarios.o_analysis.A.Analysis.program
+                        s.A.Fixes.fx_edits
+                    in
+                    Format.printf "replayed [%s]: %a@.%!" f.A.Analysis.finding.A.Lint.rule
+                      A.Replay.pp_comparison cmp
+                | None -> ())
+              o.A.Scenarios.o_analysis.A.Analysis.fixes)
+        outcomes;
+      match matrix with
+      | Some m ->
+          Format.printf "== starvation matrix (static prediction vs real collector) ==@.";
+          List.iter (Format.printf "%a@.%!" A.Scenarios.pp_matrix_entry) m;
+          let agree =
+            List.length
+              (List.filter
+                 (fun (e : A.Scenarios.matrix_entry) ->
+                   e.A.Scenarios.m_predicted = e.A.Scenarios.m_measured)
+                 m)
+          in
+          Format.printf "%d/%d classifications agree@.%!" agree (List.length m)
+      | None -> ()
+    end
+  end
 
 let analyze_cmd =
   let scenario =
@@ -288,14 +328,35 @@ let analyze_cmd =
             "Run the pinned acceptance matrix over every scenario and exit nonzero on any \
              unexpected finding, soundness violation or out-of-tolerance prediction.")
   in
+  let starvation =
+    Arg.(
+      value & flag
+      & info [ "starvation" ]
+          ~doc:
+            "Also run the starvation matrix: tiny-heap scenarios classified statically \
+             (safe / ladder-rescuable / blacklist-starved / decay-vulnerable / exhausted) \
+             and checked against the real collector's OOM diagnoses.")
+  in
+  let fix =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:
+            "Print verified fix suggestions for each finding and replay every fix through a \
+             fresh real collector to measure the retention drop.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print full reports too.") in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Static retention analyzer: record a workload's trace, run liveness dataflow and the \
           conservative-marker model, predict apparently-live sets at each GC point, lint for \
-          paper-keyed space-leak patterns, and cross-validate against the collector.")
-    Term.(const run_analyze $ scenario $ selfcheck $ verbose)
+          paper-keyed space-leak patterns, suggest statically verified fixes, and cross-validate \
+          against the collector.")
+    Term.(const run_analyze $ scenario $ selfcheck $ starvation $ fix $ json $ verbose)
 
 let main_cmd =
   let doc =

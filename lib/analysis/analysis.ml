@@ -4,18 +4,40 @@
 
 module ISet = Liveness.ISet
 
+type fix = {
+  finding : Lint.finding;
+  suggestion : Fixes.suggestion option;
+  verdict : Fixes.verdict option;  (** static verification, when a suggestion exists *)
+}
+
 type t = {
   program : Ir.program;
   liveness : Liveness.t;
   retention : Apparent.result;
+  shape : Shape.t;
   findings : Lint.finding list;
+  fixes : fix list;  (** one entry per finding, in finding order *)
 }
 
-let run program =
+let run ?(suggest_fixes = true) program =
   let liveness = Liveness.analyze program in
   let retention = Apparent.analyze program liveness in
-  let findings = Lint.run program retention in
-  { program; liveness; retention; findings }
+  let shape = Shape.build program retention in
+  let findings = Lint.run program retention shape in
+  let fixes =
+    List.map
+      (fun finding ->
+        let suggestion =
+          if suggest_fixes then Fixes.suggest program liveness retention shape finding else None
+        in
+        let verdict =
+          Option.map (fun (s : Fixes.suggestion) -> Fixes.verify_static program s.Fixes.fx_edits)
+            suggestion
+        in
+        { finding; suggestion; verdict })
+      findings
+  in
+  { program; liveness; retention; shape; findings; fixes }
 
 type validation = {
   sound : bool;  (** precise is a subset of apparent at every GC point *)
@@ -73,3 +95,11 @@ let max_excess t =
     (fun acc (s : Apparent.gc_snapshot) ->
       max acc (ISet.cardinal s.apparent - ISet.cardinal s.precise))
     0 t.retention.Apparent.snapshots
+
+let fix_for t rule =
+  List.find_opt (fun f -> f.finding.Lint.rule = rule && f.suggestion <> None) t.fixes
+
+let verified_fixes t =
+  List.filter
+    (fun f -> match f.verdict with Some v -> Fixes.sound v | None -> false)
+    t.fixes

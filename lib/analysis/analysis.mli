@@ -4,14 +4,25 @@
 
 module ISet = Liveness.ISet
 
+type fix = {
+  finding : Lint.finding;
+  suggestion : Fixes.suggestion option;
+  verdict : Fixes.verdict option;
+}
+
 type t = {
   program : Ir.program;
   liveness : Liveness.t;
   retention : Apparent.result;
+  shape : Shape.t;
   findings : Lint.finding list;
+  fixes : fix list;  (** one entry per finding, in finding order *)
 }
 
-val run : Ir.program -> t
+val run : ?suggest_fixes:bool -> Ir.program -> t
+(** The full pipeline: liveness, marker model, access graphs, lint,
+    and (unless [suggest_fixes] is [false]) a statically verified fix
+    suggestion per finding that admits one. *)
 
 type validation = {
   sound : bool;
@@ -38,3 +49,9 @@ val max_apparent : t -> int
 val max_excess : t -> int
 (** Largest predicted (apparent - precise) object count — the
     retention gap the lint rules try to explain. *)
+
+val fix_for : t -> string -> fix option
+(** The first finding of the given rule that carries a suggestion. *)
+
+val verified_fixes : t -> fix list
+(** Fixes whose static verification passed ({!Fixes.sound}). *)

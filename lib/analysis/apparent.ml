@@ -85,6 +85,13 @@ type gc_snapshot = {
           reachable — the uncleared-link signature of section 4 *)
   dead_feeding_example : int option;
   structures : structure_stats list;
+  edges : (int * int * int) list;
+      (** semantic pointer edges [(src, field, dst)] out of apparent
+          objects at this point — the raw material of access graphs *)
+  unresolved : ISet.t;
+      (** nonzero raw words the marker scanned (or traversed into) that
+          resolved to no object — exactly the false references the real
+          collector would blacklist *)
 }
 
 type obj_state = {
@@ -141,22 +148,30 @@ let analyze (p : Ir.program) (lv : Liveness.t) =
       | _ -> None
   in
   (* closure over raw values resolved against the current address map:
-     the conservative marker *)
-  let numeric_closure seeds =
+     the conservative marker.  [misses], when given, accumulates the
+     nonzero raws that resolve to nothing — the marker's false
+     references, which the real collector blacklists. *)
+  let numeric_closure ?misses seeds =
     let seen = ref ISet.empty in
     let queue = Queue.create () in
-    let visit id =
-      if not (ISet.mem id !seen) then begin
-        seen := ISet.add id !seen;
-        Queue.add id queue
-      end
+    let consider raw =
+      match resolve raw with
+      | Some id ->
+          if not (ISet.mem id !seen) then begin
+            seen := ISet.add id !seen;
+            Queue.add id queue
+          end
+      | None -> (
+          match misses with
+          | Some m when raw <> 0 -> m := ISet.add raw !m
+          | _ -> ())
     in
-    List.iter (fun raw -> Option.iter visit (resolve raw)) seeds;
+    List.iter consider seeds;
     while not (Queue.is_empty queue) do
       let id = Queue.take queue in
       match obj id with
       | Some o when not o.o_pointer_free ->
-          Array.iter (fun (v : Ir.value) -> Option.iter visit (resolve v.raw)) o.o_fields
+          Array.iter (fun (v : Ir.value) -> consider v.raw) o.o_fields
       | _ -> ()
     done;
     !seen
@@ -341,7 +356,7 @@ let analyze (p : Ir.program) (lv : Liveness.t) =
         | None -> ())
     | Ir.Root_write { word; value } -> if word < p.globals_words then globals.(word) <- value
     | Ir.Reg_read _ | Ir.Local_read _ | Ir.Heap_read _ | Ir.Root_read _ | Ir.Park _ | Ir.Unpark
-      ->
+    | Ir.Spawn _ | Ir.Join _ | Ir.Finalizer_attach _ | Ir.Write_barrier _ ->
         ()
     | Ir.Gc_point { measured } ->
         let k = !ordinal in
@@ -355,7 +370,8 @@ let analyze (p : Ir.program) (lv : Liveness.t) =
           seeds := stack.(w).Ir.raw :: !seeds
         done;
         Array.iter (fun (v : Ir.value) -> seeds := v.raw :: !seeds) globals;
-        let apparent = numeric_closure !seeds in
+        let misses = ref ISet.empty in
+        let apparent = numeric_closure ~misses !seeds in
         (* 2. the ideal precise collector's view *)
         let precise_seeds = ref [] in
         ISet.iter
@@ -415,28 +431,32 @@ let analyze (p : Ir.program) (lv : Liveness.t) =
           globals;
         let baseline = numeric_closure !intended_raws in
         let stack_excess = ISet.cardinal apparent - ISet.cardinal baseline in
-        (* 4. dead objects feeding live data (uncleared links, §4) *)
+        (* 4. semantic edges among apparent objects (the access-graph raw
+           material), then dead objects feeding live data (uncleared
+           links, §4) by reverse reachability over those edges *)
         let dead = ISet.diff apparent precise in
+        let edges = ref [] in
+        ISet.iter
+          (fun id ->
+            match obj id with
+            | Some o when not o.o_pointer_free ->
+                Array.iteri
+                  (fun field (v : Ir.value) ->
+                    match v.Ir.obj with
+                    | Some tgt -> edges := (id, field, tgt) :: !edges
+                    | _ -> ())
+                  o.o_fields
+            | _ -> ())
+          apparent;
+        let edges = List.rev !edges in
         let feeding = ref ISet.empty in
         let example = ref None in
         if not (ISet.is_empty dead) then begin
-          (* reverse reachability from the precise set through dead
-             objects along semantic edges *)
           let rev : (int, int list) Hashtbl.t = Hashtbl.create 64 in
-          ISet.iter
-            (fun id ->
-              match obj id with
-              | Some o when not o.o_pointer_free ->
-                  Array.iter
-                    (fun (v : Ir.value) ->
-                      match v.Ir.obj with
-                      | Some tgt ->
-                          Hashtbl.replace rev tgt
-                            (id :: Option.value (Hashtbl.find_opt rev tgt) ~default:[])
-                      | None -> ())
-                    o.o_fields
-              | _ -> ())
-            apparent;
+          List.iter
+            (fun (src, _, tgt) ->
+              Hashtbl.replace rev tgt (src :: Option.value (Hashtbl.find_opt rev tgt) ~default:[]))
+            edges;
           let queue = Queue.create () in
           ISet.iter (fun id -> Queue.add id queue) precise;
           let seen = ref precise in
@@ -469,6 +489,8 @@ let analyze (p : Ir.program) (lv : Liveness.t) =
             dead_feeding_live = ISet.cardinal !feeding;
             dead_feeding_example = !example;
             structures;
+            edges;
+            unresolved = !misses;
           }
           :: !snapshots;
         (* 5. the model sweep: whatever the marker missed is reclaimed *)

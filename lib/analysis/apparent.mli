@@ -53,6 +53,13 @@ type gc_snapshot = {
   dead_feeding_live : int;
   dead_feeding_example : int option;
   structures : structure_stats list;
+  edges : (int * int * int) list;
+      (** semantic pointer edges [(src, field, dst)] out of apparent
+          objects at this point — the raw material of access graphs *)
+  unresolved : ISet.t;
+      (** nonzero raw words the marker scanned or traversed into that
+          resolved to no object — the false references the real
+          collector blacklists *)
 }
 
 type obj_state = {

@@ -25,8 +25,11 @@ type finding = {
    retains one cell).  The trace signature: a large same-shape object
    group whose members point into the group (intra-degree >= ~1) and
    where a single member's reachable blast radius is a sizeable
-   fraction of the heap. *)
-let r1_embedded_links (snaps : Apparent.gc_snapshot list) =
+   fraction of the heap.  Path sensitivity: the statistical signature
+   must be confirmed by the access graphs — the group has to link to
+   itself through actual fields, not merely correlate. *)
+let r1_embedded_links (snaps : Apparent.gc_snapshot list) (shape : Shape.t) =
+  let self = Shape.self_linked shape in
   let worst = ref None in
   List.iter
     (fun (s : Apparent.gc_snapshot) ->
@@ -37,15 +40,17 @@ let r1_embedded_links (snaps : Apparent.gc_snapshot list) =
             && g.g_count >= 32
             && g.g_mean_intra_degree >= 1.2
             && g.g_mean_blast >= 0.15
+            && List.mem_assoc (g.g_bytes, g.g_pointer_free) self
           then
             match !worst with
-            | Some (w : Apparent.structure_stats) when w.g_mean_blast >= g.g_mean_blast -> ()
-            | _ -> worst := Some g)
+            | Some ((w : Apparent.structure_stats), _) when w.g_mean_blast >= g.g_mean_blast ->
+                ()
+            | _ -> worst := Some (g, List.assoc (g.g_bytes, g.g_pointer_free) self))
         s.structures)
     snaps;
   match !worst with
   | None -> []
-  | Some g ->
+  | Some (g, link_fields) ->
       [
         {
           rule = "R1";
@@ -55,11 +60,14 @@ let r1_embedded_links (snaps : Apparent.gc_snapshot list) =
           detail =
             Printf.sprintf
               "%d objects of %d bytes form an embedded-link structure (%.2f \
-               intra-group links/object); a single false reference into one \
-               of them retains %.0f%% of the apparent heap.  Consider linking \
-               through separately allocated cells so one misidentified \
-               pointer costs one cell, not the structure."
-              g.g_count g.g_bytes g.g_mean_intra_degree (100. *. g.g_mean_blast);
+               intra-group links/object through field%s %s); a single false \
+               reference into one of them retains %.0f%% of the apparent \
+               heap.  Consider linking through separately allocated cells so \
+               one misidentified pointer costs one cell, not the structure."
+              g.g_count g.g_bytes g.g_mean_intra_degree
+              (if List.length link_fields = 1 then "" else "s")
+              (String.concat "," (List.map string_of_int link_fields))
+              (100. *. g.g_mean_blast);
           example_obj = None;
         };
       ]
@@ -69,7 +77,7 @@ let r1_embedded_links (snaps : Apparent.gc_snapshot list) =
    dequeue-style operations, since a stale head pointer anywhere keeps
    the entire chain of removed entries reachable through their
    uncleared next links. *)
-let r2_uncleared_links (snaps : Apparent.gc_snapshot list) =
+let r2_uncleared_links (snaps : Apparent.gc_snapshot list) (shape : Shape.t) =
   let worst = ref 0 and example = ref None and where = ref 0 in
   List.iter
     (fun (s : Apparent.gc_snapshot) ->
@@ -79,24 +87,41 @@ let r2_uncleared_links (snaps : Apparent.gc_snapshot list) =
         where := s.ordinal
       end)
     snaps;
-  if !worst >= 8 then
-    [
-      {
-        rule = "R2";
-        severity = Warning;
-        title = "dequeued objects retain live data through uncleared links";
-        paper_ref = "Boehm'93 s.4 (clear links in dequeue operations)";
-        detail =
-          Printf.sprintf
-            "at GC #%d, %d objects the mutator will never touch again still \
-             reach live data through their pointer fields; any spurious \
-             reference to one of them drags the live structure along.  \
-             Clear the link field when removing an entry."
-            !where !worst;
-        example_obj = !example;
-      };
-    ]
-  else []
+  (* path sensitivity: the access graph must exhibit the actual dead
+     links, and they name the field to clear *)
+  let sample_link =
+    match Shape.worst shape with
+    | Some g -> (
+        match
+          List.find_opt (fun (l : Shape.link) -> l.Shape.l_dst_live) g.Shape.sh_dead_links
+        with
+        | Some l -> Some l
+        | None -> (
+            match g.Shape.sh_dead_links with l :: _ -> Some l | [] -> None))
+    | None -> None
+  in
+  match sample_link with
+  | Some l when !worst >= 8 ->
+      [
+        {
+          rule = "R2";
+          severity = Warning;
+          title = "dequeued objects retain live data through uncleared links";
+          paper_ref = "Boehm'93 s.4 (clear links in dequeue operations)";
+          detail =
+            Printf.sprintf
+              "at GC #%d, %d objects the mutator will never touch again still \
+               reach live data through their pointer fields (e.g. dead #%d \
+               field %d -> %s#%d); any spurious reference to one of them \
+               drags the live structure along.  Clear the link field when \
+               removing an entry."
+              !where !worst l.Shape.l_src l.Shape.l_field
+              (if l.Shape.l_dst_live then "live " else "dead ")
+              l.Shape.l_dst;
+          example_obj = (match !example with Some e -> Some e | None -> Some l.Shape.l_src);
+        };
+      ]
+  | _ -> []
 
 (* R3: pointer-free data allocated scanned.  The paper's collector
    provides atomic allocation exactly so character/number data is never
@@ -228,9 +253,9 @@ let r5_careless_stack (p : Ir.program) (snaps : Apparent.gc_snapshot list) =
       ]
   end
 
-let run (p : Ir.program) (r : Apparent.result) =
-  r1_embedded_links r.snapshots
-  @ r2_uncleared_links r.snapshots
+let run (p : Ir.program) (r : Apparent.result) (shape : Shape.t) =
+  r1_embedded_links r.snapshots shape
+  @ r2_uncleared_links r.snapshots shape
   @ r3_should_be_atomic r.objects
   @ r4_large_scanned p
   @ r5_careless_stack p r.snapshots

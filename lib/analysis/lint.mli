@@ -24,5 +24,9 @@ type finding = {
   example_obj : int option;
 }
 
-val run : Ir.program -> Apparent.result -> finding list
+val run : Ir.program -> Apparent.result -> Shape.t -> finding list
+(** R1 and R2 are path-sensitive: the statistical signatures must be
+    confirmed by (and are enriched with field evidence from) the access
+    graphs. *)
+
 val pp_finding : Format.formatter -> finding -> unit

@@ -98,6 +98,16 @@ let handle t (ev : Machine.event) =
   | Machine.E_park { words } -> push t (Ir.Park { words })
   | Machine.E_unpark -> push t Ir.Unpark
   | Machine.E_clear_registers -> push t Ir.Clear_registers
+  | Machine.E_finalizer { obj; token } -> (
+      match obj_id t obj with
+      | Some id -> push t (Ir.Finalizer_attach { obj = id; token })
+      | None -> t.dropped <- t.dropped + 1)
+  | Machine.E_spawn { thread; words } -> push t (Ir.Spawn { thread; words })
+  | Machine.E_join { thread } -> push t (Ir.Join { thread })
+  | Machine.E_write_barrier { obj; field } -> (
+      match obj_id t obj with
+      | Some id -> push t (Ir.Write_barrier { obj = id; field })
+      | None -> t.dropped <- t.dropped + 1)
 
 let attach machine ~globals =
   let stack_lo, stack_hi = Machine.stack_limits machine in
@@ -132,6 +142,16 @@ let finish t =
     interior_pointers = (Cgc.Gc.config t.gc).Cgc.Config.interior_pointers;
     code = Array.of_list (List.rev t.rev_code);
   }
+
+(* Detach without producing a program.  Scenario runners call this from
+   an exception path: a recorder left attached to a shared machine
+   would keep translating the *next* scenario's events into this
+   (abandoned) session's id space, poisoning its IR. *)
+let abort t =
+  Machine.set_tracer t.machine None;
+  t.rev_code <- [];
+  Hashtbl.reset t.ids;
+  Hashtbl.reset t.bases
 
 let base_of_obj t id = Option.map Addr.of_int (Hashtbl.find_opt t.bases id)
 let dropped_events t = t.dropped

@@ -22,6 +22,12 @@ val finish : t -> Ir.program
     collector once more first, so a trailing [Cgc.Gc.collect] with no
     subsequent machine activity still contributes its GC point. *)
 
+val abort : t -> unit
+(** Detach the tracer and drop all recorded state without building a
+    program.  Use on failure paths: a recorder left attached would keep
+    consuming the machine's events into a dead session, poisoning the
+    next recording's IR. *)
+
 val base_of_obj : t -> int -> Addr.t option
 (** Concrete base address an object id was allocated at (addresses may
     have been reused since if the object died). *)

@@ -1,0 +1,217 @@
+(* Dynamic fix verification: replay a recorded program through a
+   fresh, real collector and measure what it actually retains.
+
+   The replay rebuilds the recorded world from scratch — new memory,
+   new heap, new object addresses — and re-enacts the trace: every
+   allocation goes through [Gc.allocate], every stack/global/heap write
+   lands in real scanned memory, every [Gc_point] runs a real
+   collection.  Written values are translated through the id map the
+   recorder left in the trace: a value tagged with object [i] is
+   rebased onto [i]'s replay address (interior offsets preserved), an
+   untagged raw travels verbatim — so false references stay false and
+   semantic edges stay semantic, just at new addresses.
+
+   Because addresses differ between replays, reads are compared as
+   normalized tokens: a loaded word is reverse-mapped through
+   [Gc.find_object] to (object id, offset) when it lands in a live
+   trace object, and kept raw otherwise.  Two replays are
+   observationally equal when their token streams match.
+
+   This is the measured half of fix verification: {!Fixes.verify_static}
+   proves an edit cannot change the program; this module shows the real
+   collector retains less afterwards. *)
+
+module Segment = Cgc_vm.Segment
+module Mem = Cgc_vm.Mem
+module Addr = Cgc_vm.Addr
+module Gc = Cgc.Gc
+module Config = Cgc.Config
+
+type token =
+  | T_obj of int * int  (** live trace object id, interior offset *)
+  | T_raw of int
+
+type run = {
+  rp_gc_points : int;
+  rp_retained : int list;  (** trace-object bytes live after each collection *)
+  rp_total_retained : int;
+  rp_reads : token list;
+  rp_allocated : int;  (** objects successfully allocated *)
+  rp_skipped : int;  (** heap accesses to objects the collector had freed *)
+}
+
+type comparison = {
+  cmp_before : run;
+  cmp_after : run;
+  cmp_retention_drop : int;  (** summed over GC points; positive = fix helps *)
+  cmp_reads_equal : bool;
+}
+
+let globals_base = 0x10000
+let stack_base = 0xEFF00000
+let heap_base = 0x400000
+let heap_max_bytes = 48 * 1024 * 1024
+
+let round_page n = (n + 0xFFF) land lnot 0xFFF
+
+let run (p : Ir.program) =
+  let mem = Mem.create ~endian:Cgc_vm.Endian.Little () in
+  let _ =
+    Mem.map mem ~name:"globals" ~kind:Segment.Static_data ~base:(Addr.of_int globals_base)
+      ~size:(round_page (max 1 p.Ir.globals_words * Ir.word_bytes))
+  in
+  let stack_size = round_page (max 1 p.Ir.stack_words * Ir.word_bytes) in
+  let _ =
+    Mem.map mem ~name:"stack" ~kind:Segment.Stack ~base:(Addr.of_int stack_base) ~size:stack_size
+  in
+  let config = { Config.default with Config.interior_pointers = p.Ir.interior_pointers } in
+  let gc = Gc.create ~config mem ~base:(Addr.of_int heap_base) ~max_bytes:heap_max_bytes () in
+  Gc.set_auto_collect gc false;
+  let regs = Array.make (max 1 p.Ir.n_registers) 0 in
+  (* id -> (recorded base, replay base, bytes); replay base -> id *)
+  let fwd : (int, int * int * int) Hashtbl.t = Hashtbl.create 1024 in
+  let rev : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  Gc.add_static_root gc ~lo:(Addr.of_int globals_base)
+    ~hi:(Addr.of_int (globals_base + (p.Ir.globals_words * Ir.word_bytes)))
+    ~label:"replay globals";
+  Gc.add_register_roots gc ~label:"replay registers" (fun () -> regs);
+  (* the scanned stack portion tracks sp exactly as the recorded
+     machine moved it: frames, parks and spawned child regions *)
+  let sp_word = ref p.Ir.stack_words in
+  let sp_saves = ref [] in
+  Gc.add_dynamic_roots gc ~label:"replay stack" (fun () ->
+      [
+        {
+          Cgc.Roots.lo = Addr.of_int (stack_base + (!sp_word * Ir.word_bytes));
+          hi = Addr.of_int (stack_base + (p.Ir.stack_words * Ir.word_bytes));
+          label = "replay stack";
+        };
+      ]);
+  let translate (v : Ir.value) =
+    match v.Ir.obj with
+    | Some id -> (
+        match Hashtbl.find_opt fwd id with
+        | Some (orig, now, _) -> now + (v.Ir.raw - orig)
+        | None -> v.Ir.raw)
+    | None -> v.Ir.raw
+  in
+  let reads = ref [] in
+  let note raw =
+    let t =
+      match Gc.find_object gc (Addr.of_int (raw land 0xFFFFFFFF)) with
+      | Some base -> (
+          match Hashtbl.find_opt rev (Addr.to_int base) with
+          | Some id -> T_obj (id, raw - Addr.to_int base)
+          | None -> T_raw raw)
+      | None -> T_raw raw
+    in
+    reads := t :: !reads
+  in
+  let retained = ref [] in
+  let allocated = ref 0 in
+  let skipped = ref 0 in
+  let stack_addr w = Addr.of_int (stack_base + (w * Ir.word_bytes)) in
+  let global_addr w = Addr.of_int (globals_base + (w * Ir.word_bytes)) in
+  let with_obj id f =
+    match Hashtbl.find_opt fwd id with
+    | Some (_, now, _) when Gc.is_allocated gc (Addr.of_int now) -> f (Addr.of_int now)
+    | _ -> incr skipped
+  in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Ir.Alloc { obj; base; bytes; pointer_free } ->
+          let addr = Gc.allocate ~pointer_free gc bytes in
+          (* address reuse after a sweep: the old id no longer owns it *)
+          (match Hashtbl.find_opt rev (Addr.to_int addr) with
+          | Some old -> Hashtbl.remove fwd old
+          | None -> ());
+          Hashtbl.replace fwd obj (base, Addr.to_int addr, bytes);
+          Hashtbl.replace rev (Addr.to_int addr) obj;
+          incr allocated
+      | Ir.Reg_write { reg; value } ->
+          if reg < Array.length regs then regs.(reg) <- translate value
+      | Ir.Reg_read { reg } -> if reg < Array.length regs then note regs.(reg)
+      | Ir.Clear_registers -> Array.fill regs 0 (Array.length regs) 0
+      | Ir.Local_write { word; value } | Ir.Spill_write { word; value } ->
+          if word >= 0 && word < p.Ir.stack_words then
+            Mem.write_word mem (stack_addr word) (translate value)
+      | Ir.Local_read { word } ->
+          if word >= 0 && word < p.Ir.stack_words then note (Mem.read_word mem (stack_addr word))
+      | Ir.Stack_clear { lo_word; n_words } ->
+          for w = max 0 lo_word to min (p.Ir.stack_words - 1) (lo_word + n_words - 1) do
+            Mem.write_word mem (stack_addr w) 0
+          done
+      | Ir.Root_write { word; value } ->
+          if word >= 0 && word < p.Ir.globals_words then
+            Mem.write_word mem (global_addr word) (translate value)
+      | Ir.Root_read { word } ->
+          if word >= 0 && word < p.Ir.globals_words then note (Mem.read_word mem (global_addr word))
+      | Ir.Heap_write { obj; field; value } ->
+          with_obj obj (fun addr -> Gc.set_field gc addr field (translate value))
+      | Ir.Heap_read { obj; field } -> with_obj obj (fun addr -> note (Gc.get_field gc addr field))
+      | Ir.Frame_push { slots; padding; cleared } ->
+          let n = slots + padding in
+          let lo = !sp_word - n in
+          if cleared then
+            for w = max 0 lo to min (p.Ir.stack_words - 1) (!sp_word - 1) do
+              Mem.write_word mem (stack_addr w) 0
+            done;
+          sp_word := lo
+      | Ir.Frame_pop { slots; padding; _ } -> sp_word := !sp_word + slots + padding
+      | Ir.Park { words } | Ir.Spawn { words; _ } ->
+          sp_saves := !sp_word :: !sp_saves;
+          sp_word := !sp_word - words
+      | Ir.Unpark | Ir.Join _ -> (
+          match !sp_saves with
+          | sp :: rest ->
+              sp_word := sp;
+              sp_saves := rest
+          | [] -> ())
+      | Ir.Finalizer_attach { obj; token } ->
+          with_obj obj (fun addr -> Gc.add_finalizer gc addr ~token:(string_of_int token))
+      | Ir.Write_barrier _ -> ()
+      | Ir.Gc_point _ ->
+          Gc.collect gc;
+          ignore (Gc.drain_pending_sweeps gc);
+          ignore (Gc.drain_finalized gc);
+          let live =
+            Hashtbl.fold
+              (fun _ (_, now, bytes) acc ->
+                if Gc.is_allocated gc (Addr.of_int now) then acc + bytes else acc)
+              fwd 0
+          in
+          retained := live :: !retained)
+    p.Ir.code;
+  let retained = List.rev !retained in
+  {
+    rp_gc_points = List.length retained;
+    rp_retained = retained;
+    rp_total_retained = List.fold_left ( + ) 0 retained;
+    rp_reads = List.rev !reads;
+    rp_allocated = !allocated;
+    rp_skipped = !skipped;
+  }
+
+let compare_fix (p : Ir.program) edits =
+  let before = run p in
+  let after = run (Fixes.apply p edits) in
+  {
+    cmp_before = before;
+    cmp_after = after;
+    cmp_retention_drop = before.rp_total_retained - after.rp_total_retained;
+    cmp_reads_equal = before.rp_reads = after.rp_reads;
+  }
+
+let pp_run ppf r =
+  Format.fprintf ppf "replay: %d alloc(s), %d GC point(s), retained %s (total %dB)%s" r.rp_allocated
+    r.rp_gc_points
+    (String.concat "/" (List.map (fun b -> string_of_int b ^ "B") r.rp_retained))
+    r.rp_total_retained
+    (if r.rp_skipped > 0 then Printf.sprintf ", %d dead-object access(es) skipped" r.rp_skipped
+     else "")
+
+let pp_comparison ppf c =
+  Format.fprintf ppf "@[<v>before: %a@,after:  %a@,drop: %dB, reads %s@]" pp_run c.cmp_before pp_run
+    c.cmp_after c.cmp_retention_drop
+    (if c.cmp_reads_equal then "preserved" else "CHANGED")

@@ -1,0 +1,44 @@
+(** Dynamic fix verification: re-enact a recorded program against a
+    fresh real collector and measure what it retains.
+
+    The replay rebuilds the recorded world at new addresses, rebasing
+    every value tagged with an object id onto the object's replay
+    address (interior offsets preserved) and passing untagged raws
+    through verbatim, so false references and semantic edges survive
+    relocation.  Reads are normalized to (object id, offset) tokens so
+    two replays can be compared observationally despite different
+    address layouts. *)
+
+type token =
+  | T_obj of int * int  (** live trace object id, interior offset *)
+  | T_raw of int
+
+type run = {
+  rp_gc_points : int;
+  rp_retained : int list;
+      (** bytes of trace objects still allocated after each collection *)
+  rp_total_retained : int;
+  rp_reads : token list;
+  rp_allocated : int;
+  rp_skipped : int;
+      (** heap accesses dropped because the collector had (correctly)
+          freed the object — nonzero only for reads the recorded
+          program also never depended on *)
+}
+
+type comparison = {
+  cmp_before : run;
+  cmp_after : run;
+  cmp_retention_drop : int;
+      (** original minus fixed total retention; positive = fix helps *)
+  cmp_reads_equal : bool;
+}
+
+val run : Ir.program -> run
+
+val compare_fix : Ir.program -> Fixes.edit list -> comparison
+(** Replay the program and its edited form; the fix is dynamically
+    verified when [cmp_reads_equal] and [cmp_retention_drop > 0]. *)
+
+val pp_run : Format.formatter -> run -> unit
+val pp_comparison : Format.formatter -> comparison -> unit

@@ -6,11 +6,34 @@ val pp_table : Format.formatter -> Analysis.t -> unit
 
 val pp_validation : Format.formatter -> Analysis.validation -> unit
 
+val pp_fix : Format.formatter -> Analysis.fix -> unit
+
+val pp_fixes : Format.formatter -> Analysis.t -> unit
+(** The fixes section: every finding's suggested edit list with its
+    static verification verdict. *)
+
 val pp :
   ?explain:(Format.formatter -> int -> unit) ->
+  ?fixes:bool ->
   Format.formatter ->
   Analysis.t ->
   unit
 (** Full report.  [explain] is called with each finding's example
     object id, letting the caller print a dynamic provenance chain
-    (e.g. {!Cgc.Inspect.why_live}) from the live collector. *)
+    (e.g. {!Cgc.Inspect.why_live}) from the live collector.  [fixes]
+    appends the fixes section. *)
+
+(** {1 JSON}
+
+    Hand-rolled emitters (the toolchain carries no JSON library) for
+    the CI artifact and machine-readable diffing. *)
+
+val json : ?name:string -> ?replay:bool -> Format.formatter -> Analysis.t -> unit
+(** One scenario's analysis as a JSON object: validation verdict,
+    per-GC-point table, findings with their fix verdicts.  [replay]
+    additionally replays each suggested fix through a real collector
+    and embeds the measured retention drop. *)
+
+val json_matrix : Format.formatter -> Scenarios.matrix_entry list -> unit
+(** The starvation matrix as a JSON array of
+    predicted-vs-measured rows. *)

@@ -20,12 +20,27 @@ let finish name rec_ gc note =
   let program = Recorder.finish rec_ in
   { o_name = name; o_analysis = Analysis.run program; o_recorder = rec_; o_gc = gc; o_note = note }
 
+(* A runner that dies after [prepare] attached the recorder would
+   otherwise leave the tracer armed on a machine the next scenario
+   never sees — and a recorder holding a partial trace.  Abort the
+   recorder (detach tracer, drop buffered state) on every non-returning
+   exit, so back-to-back scenarios start clean even when one fails. *)
+let guarded st runner =
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !finished then Option.iter (fun (rec_, _) -> Recorder.abort rec_) !st)
+    (fun () ->
+      let r = runner () in
+      finished := true;
+      r)
+
 let with_harness name runner =
   let st = ref None in
   let prepare (h : W.Harness.t) =
     st := Some (Recorder.attach h.W.Harness.machine ~globals:h.W.Harness.data, h.W.Harness.gc)
   in
-  let note = runner ~prepare in
+  let note = guarded st (fun () -> runner ~prepare) in
   match !st with
   | Some (rec_, gc) -> finish name rec_ gc note
   | None -> invalid_arg "scenario runner never called prepare"
@@ -35,7 +50,7 @@ let with_platform name platform =
   let prepare (env : W.Platform.env) =
     st := Some (Recorder.attach env.W.Platform.machine ~globals:env.W.Platform.data, env.W.Platform.gc)
   in
-  let result = W.Program_t.run ~prepare platform in
+  let result = guarded st (fun () -> W.Program_t.run ~prepare platform) in
   match !st with
   | Some (rec_, gc) -> finish name rec_ gc (Fmt.str "%a" W.Program_t.pp_result result)
   | None -> invalid_arg "program_t never called prepare"
@@ -74,6 +89,238 @@ let table =
 let names = List.map fst table
 let run name = Option.map (fun f -> f ()) (List.assoc_opt name table)
 let run_all () = List.map (fun (_, f) -> f ()) table
+
+(* ------------------------------------------------------------------ *)
+(* The starvation matrix: tiny-heap scenarios steered into each of the
+   predictor's classifications, with the static prediction checked for
+   exact agreement against the real collector's OOM diagnosis and
+   ladder counters. *)
+
+module Mem = Cgc_vm.Mem
+module Addr = Cgc_vm.Addr
+
+type matrix_entry = {
+  m_name : string;
+  m_predicted : Starvation.classification;
+  m_measured : Starvation.classification;
+  m_prediction : Starvation.prediction;
+  m_oom : Cgc.Gc.oom_diagnosis option;
+  m_ladder_rungs : int;
+  m_note : string;
+}
+
+let matrix_heap_base = 0x400000
+let matrix_page = 4096
+let matrix_obj = 256 (* 16 objects per page *)
+
+(* A raw integer that lands inside the given heap page but names no
+   object: global-root pollution, the seed of a blacklist entry. *)
+let page_poison page = matrix_heap_base + (page * matrix_page) + 64
+
+let pollute h ~slot pages =
+  List.iteri (fun i p -> W.Harness.set_root h (slot + i) (page_poison p)) pages
+
+(* A chain of [n] objects linked through field 0, head rooted at
+   [slot].  Survives collections mid-build through register 0 (the
+   conservative scan follows the freshest allocation's link chain). *)
+let build_chain ?(bytes = matrix_obj) ?pointer_free h ~slot ~n =
+  let machine = h.W.Harness.machine in
+  let prev = ref 0 in
+  for _ = 1 to n do
+    let o = Machine.allocate ?pointer_free machine bytes in
+    Machine.write_field machine o 0 !prev;
+    prev := Addr.to_int o
+  done;
+  W.Harness.set_root h slot !prev
+
+let churn ?(bytes = matrix_obj) ?pointer_free h ~n =
+  for _ = 1 to n do
+    ignore (Machine.allocate ?pointer_free h.W.Harness.machine bytes)
+  done
+
+(* Run one matrix scenario: record the workload, classify its ending
+   both ways, and demand nothing — agreement is asserted by the
+   selfcheck, not here. *)
+let matrix_scenario ~name ~pages ?(config = fun c -> c) ?decay body =
+  let config =
+    config
+      { Cgc.Config.default with Cgc.Config.initial_pages = pages; Cgc.Config.blacklisting = true }
+  in
+  let h = W.Harness.create ~config ~heap_kb:(pages * matrix_page / 1024) () in
+  let geometry = Starvation.capture h.W.Harness.gc in
+  let recorder = Recorder.attach h.W.Harness.machine ~globals:h.W.Harness.data in
+  let oom = ref None in
+  let note =
+    guarded
+      (ref (Some (recorder, h.W.Harness.gc)))
+      (fun () ->
+        try body h
+        with Cgc.Gc.Out_of_memory d ->
+          oom := Some d;
+          Fmt.str "OOM: %s" (Cgc.Gc.oom_message d))
+  in
+  let program = Recorder.finish recorder in
+  let liveness = Liveness.analyze program in
+  let retention = Apparent.analyze program liveness in
+  let prediction = Starvation.predict ?decay geometry program retention in
+  let stats = Cgc.Gc.stats h.W.Harness.gc in
+  {
+    m_name = name;
+    m_predicted = prediction.Starvation.pr_class;
+    m_measured = Starvation.classify_measured ~oom:!oom stats;
+    m_prediction = prediction;
+    m_oom = !oom;
+    m_ladder_rungs = Starvation.ladder_rungs stats;
+    m_note = note;
+  }
+
+(* Catch the fault-plan exceptions a decayed world throws at the
+   mutator and keep going; only [Out_of_memory] ends the scenario. *)
+let tolerant f = try f () with Mem.Write_fault _ | Mem.Read_fault _ -> ()
+
+let matrix_table =
+  [
+    (* -- safe ------------------------------------------------------ *)
+    ( "sv-safe-steady",
+      fun () ->
+        matrix_scenario ~name:"sv-safe-steady" ~pages:16 (fun h ->
+            build_chain h ~slot:0 ~n:8;
+            churn h ~n:200;
+            "steady churn, 8 live") );
+    ( "sv-safe-growth",
+      fun () ->
+        matrix_scenario ~name:"sv-safe-growth" ~pages:32
+          ~config:(fun c -> { c with Cgc.Config.initial_pages = 8 })
+          (fun h ->
+            build_chain h ~slot:0 ~n:192;
+            churn h ~n:100;
+            "rung-free growth to 12 live pages") );
+    ( "sv-safe-atomic",
+      fun () ->
+        matrix_scenario ~name:"sv-safe-atomic" ~pages:16 (fun h ->
+            pollute h ~slot:0 (List.init 14 (fun i -> i + 2));
+            Cgc.Gc.collect h.W.Harness.gc;
+            build_chain h ~slot:40 ~n:16 ~pointer_free:true;
+            churn h ~n:150 ~pointer_free:true;
+            "atomic churn over a 14/16-black heap") );
+    (* -- ladder-rescuable ------------------------------------------ *)
+    ( "sv-ladder-tight",
+      fun () ->
+        matrix_scenario ~name:"sv-ladder-tight" ~pages:16
+          ~config:(fun c -> { c with Cgc.Config.blacklisting = false })
+          (fun h ->
+            build_chain h ~slot:0 ~n:224;
+            churn h ~n:160;
+            "churn against 14/16 pages live") );
+    ( "sv-ladder-lazy",
+      fun () ->
+        matrix_scenario ~name:"sv-ladder-lazy" ~pages:16
+          ~config:(fun c -> { c with Cgc.Config.blacklisting = false; Cgc.Config.lazy_sweep = true })
+          (fun h ->
+            build_chain h ~slot:0 ~n:224;
+            churn h ~n:160;
+            "lazy sweep: ladder drains deferred pages") );
+    ( "sv-ladder-hashed",
+      fun () ->
+        matrix_scenario ~name:"sv-ladder-hashed" ~pages:16
+          ~config:(fun c -> { c with Cgc.Config.blacklist_buckets = Some 8 })
+          (fun h ->
+            pollute h ~slot:0 [ 12 ];
+            Cgc.Gc.collect h.W.Harness.gc;
+            build_chain h ~slot:4 ~n:192;
+            churn h ~n:80;
+            "hashed blacklist smears 1 false ref over 2 pages") );
+    ( "sv-ladder-relax",
+      fun () ->
+        matrix_scenario ~name:"sv-ladder-relax" ~pages:16
+          ~config:(fun c -> { c with Cgc.Config.relax_blacklist = true })
+          (fun h ->
+            pollute h ~slot:0 (List.init 10 (fun i -> i + 4));
+            Cgc.Gc.collect h.W.Harness.gc;
+            build_chain h ~slot:20 ~n:96;
+            churn h ~n:48;
+            "blacklist-starved shape rescued by relaxation") );
+    (* -- blacklist-starved ----------------------------------------- *)
+    ( "sv-starved-exact",
+      fun () ->
+        matrix_scenario ~name:"sv-starved-exact" ~pages:16 (fun h ->
+            pollute h ~slot:0 (List.init 12 (fun i -> i + 4));
+            Cgc.Gc.collect h.W.Harness.gc;
+            build_chain h ~slot:20 ~n:64;
+            churn h ~n:64;
+            "unreachable: churn should have died") );
+    ( "sv-starved-hashed",
+      fun () ->
+        matrix_scenario ~name:"sv-starved-hashed" ~pages:16
+          ~config:(fun c -> { c with Cgc.Config.blacklist_buckets = Some 8 })
+          (fun h ->
+            build_chain h ~slot:20 ~n:16;
+            pollute h ~slot:0 (List.init 14 (fun i -> i + 2));
+            Cgc.Gc.collect h.W.Harness.gc;
+            churn h ~n:8;
+            "unreachable: every bucket is dirty") );
+    ( "sv-starved-large",
+      fun () ->
+        matrix_scenario ~name:"sv-starved-large" ~pages:16 (fun h ->
+            churn h ~n:1 ~bytes:(8 * matrix_page);
+            pollute h ~slot:0 (List.init 8 (fun i -> (2 * i) + 1));
+            Cgc.Gc.collect h.W.Harness.gc;
+            churn h ~n:1 ~bytes:(8 * matrix_page);
+            "unreachable: no clean 8-page run") );
+    (* -- decay-vulnerable ------------------------------------------ *)
+    ( "sv-decay-writes",
+      fun () ->
+        matrix_scenario ~name:"sv-decay-writes" ~pages:8
+          ~config:(fun c -> { c with Cgc.Config.blacklisting = false })
+          ~decay:{ Starvation.dh_every = 24; dh_region_bytes = 4096 }
+          (fun h ->
+            build_chain h ~slot:0 ~n:32;
+            Mem.set_fault_plan h.W.Harness.mem
+              (Some
+                 (Mem.Fault.plan ~countdown:24 ~rearm:true ~target:Mem.Fault.Writes
+                    ~decay_bytes:4096 ()));
+            for i = 1 to 3000 do
+              tolerant (fun () -> churn h ~n:1);
+              tolerant (fun () -> W.Harness.set_root h 30 i)
+            done;
+            "unreachable: memory should have decayed away") );
+    ( "sv-decay-slow",
+      fun () ->
+        matrix_scenario ~name:"sv-decay-slow" ~pages:8
+          ~config:(fun c -> { c with Cgc.Config.blacklisting = false })
+          ~decay:{ Starvation.dh_every = 40; dh_region_bytes = 4096 }
+          (fun h ->
+            build_chain h ~slot:0 ~n:16;
+            Mem.set_fault_plan h.W.Harness.mem
+              (Some
+                 (Mem.Fault.plan ~countdown:40 ~rearm:true ~target:Mem.Fault.Writes
+                    ~decay_bytes:4096 ()));
+            let machine = h.W.Harness.machine in
+            for i = 1 to 4000 do
+              tolerant (fun () ->
+                  let o = Machine.allocate machine matrix_obj in
+                  Machine.write_field machine o 1 i);
+              tolerant (fun () -> W.Harness.set_root h 30 i)
+            done;
+            "unreachable: memory should have decayed away") );
+    (* -- exhausted ------------------------------------------------- *)
+    ( "sv-exhausted",
+      fun () ->
+        matrix_scenario ~name:"sv-exhausted" ~pages:8 (fun h ->
+            build_chain h ~slot:0 ~n:1000;
+            "unreachable: the chain outgrows the heap") );
+  ]
+
+let matrix_names = List.map fst matrix_table
+let starvation_matrix () = List.map (fun (_, f) -> f ()) matrix_table
+
+let pp_matrix_entry ppf e =
+  Fmt.pf ppf "%-18s predicted %-18s measured %-18s %s" e.m_name
+    (Starvation.class_name e.m_predicted)
+    (Starvation.class_name e.m_measured)
+    (match e.m_oom with
+    | Some d -> Fmt.str "(%s; %d rungs)" (Cgc.Gc.oom_message d) e.m_ladder_rungs
+    | None -> Fmt.str "(no OOM; %d rungs)" e.m_ladder_rungs)
 
 (* Dynamic provenance for a finding's example object: ask the live
    collector why it is (still) retained. *)
@@ -133,4 +380,45 @@ let selfcheck () =
   check "careless retains more than hygienic (model agrees)"
     (Analysis.max_excess (get "program-t-careless").o_analysis
     >= Analysis.max_excess (get "program-t-hygienic").o_analysis);
+  (* Fix suggestions: every headline finding must carry a suggestion
+     that passes static verification AND, replayed through the real
+     collector, retains measurably less with identical read streams. *)
+  let fix_check scenario rule =
+    let a = (get scenario).o_analysis in
+    let label = Fmt.str "%s %s fix" scenario rule in
+    match Analysis.fix_for a rule with
+    | None -> check (label ^ ": suggested") false
+    | Some f ->
+        check (label ^ ": suggested") true;
+        check
+          (label ^ ": statically sound")
+          (match f.Analysis.verdict with Some v -> Fixes.sound v | None -> false);
+        let edits =
+          match f.Analysis.suggestion with Some s -> s.Fixes.fx_edits | None -> []
+        in
+        let cmp = Replay.compare_fix a.Analysis.program edits in
+        check (label ^ ": replay drops retention") (cmp.Replay.cmp_retention_drop > 0);
+        check (label ^ ": replay preserves reads") cmp.Replay.cmp_reads_equal
+  in
+  fix_check "grid-embedded" "R1";
+  fix_check "queue-no-clear" "R2";
+  fix_check "list-reverse-careless" "R5";
+  fix_check "program-t-careless" "R5";
+  (* The starvation matrix: static classification must match the real
+     collector's behaviour exactly, scenario by scenario. *)
+  let matrix = starvation_matrix () in
+  check "starvation matrix has >= 12 scenarios" (List.length matrix >= 12);
+  List.iter
+    (fun e ->
+      check
+        (Fmt.str "%s: predicted %s = measured %s" e.m_name
+           (Starvation.class_name e.m_predicted)
+           (Starvation.class_name e.m_measured))
+        (e.m_predicted = e.m_measured))
+    matrix;
+  check "matrix exercises memory decay (memory_decayed diagnosed)"
+    (List.exists
+       (fun e ->
+         match e.m_oom with Some d -> d.Cgc.Gc.memory_decayed | None -> false)
+       matrix);
   (List.rev !checks, outcomes)

@@ -21,7 +21,32 @@ val explain : outcome -> Format.formatter -> int -> unit
 (** Report hook: prints the live collector's {!Cgc.Inspect.why_live}
     chain for a finding's example object, if it is still allocated. *)
 
+(** {1 The starvation matrix}
+
+    Tiny-heap scenarios steered into each of the predictor's
+    classifications — safe, ladder-rescuable, blacklist-starved (exact,
+    hashed, and large-contiguity flavours), decay-vulnerable under an
+    armed {!Cgc_vm.Mem.Fault} plan, and plain exhaustion — each
+    classified statically from the recorded trace and dynamically from
+    the real collector's OOM diagnosis and ladder counters. *)
+
+type matrix_entry = {
+  m_name : string;
+  m_predicted : Starvation.classification;
+  m_measured : Starvation.classification;
+  m_prediction : Starvation.prediction;
+  m_oom : Cgc.Gc.oom_diagnosis option;
+  m_ladder_rungs : int;
+  m_note : string;
+}
+
+val matrix_names : string list
+val starvation_matrix : unit -> matrix_entry list
+val pp_matrix_entry : Format.formatter -> matrix_entry -> unit
+
 val selfcheck : unit -> (string * bool) list * outcome list
 (** The pinned acceptance matrix: per-scenario soundness and
-    measurement tolerance, plus which lint rules must and must not
-    fire where. *)
+    measurement tolerance, which lint rules must and must not fire
+    where, fix suggestions verified both statically and by collector
+    replay, and exact static-vs-measured agreement across the
+    starvation matrix (including at least one memory-decay OOM). *)

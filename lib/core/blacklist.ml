@@ -19,6 +19,22 @@ type t = {
 let[@inline] bucket_of t page =
   if t.hash_buckets = 0 then page else page * 2654435761 land 0x3FFFFFFF mod t.hash_buckets
 
+(* Read-only geometry, so static analyses (the starvation predictor)
+   can reproduce the page -> bucket mapping without a live blacklist. *)
+type geometry = {
+  g_representation : representation;
+  g_n_pages : int;
+  g_refresh : bool;
+}
+
+let geometry t =
+  { g_representation = t.representation; g_n_pages = t.n_pages; g_refresh = t.refresh }
+
+let bucket g page =
+  match g.g_representation with
+  | Exact -> page
+  | Hashed buckets -> page * 2654435761 land 0x3FFFFFFF mod buckets
+
 let create ?(representation = Exact) ~n_pages ~refresh () =
   let universe =
     match representation with

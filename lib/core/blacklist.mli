@@ -63,4 +63,20 @@ val overridden : t -> int
 val iter : (int -> unit) -> t -> unit
 (** Iterate over currently black pages in increasing order. *)
 
+type geometry = {
+  g_representation : representation;
+  g_n_pages : int;
+  g_refresh : bool;
+}
+(** Read-only shape of a blacklist: enough to reproduce the
+    page-to-bucket mapping without mutating (or even holding) the live
+    structure.  Consumed by the static starvation predictor. *)
+
+val geometry : t -> geometry
+
+val bucket : geometry -> int -> int
+(** [bucket g page] is the bit index [note]/[is_black] would use for
+    [page] under this geometry — the page itself for [Exact], the
+    Fibonacci-hash bucket for [Hashed].  Pure. *)
+
 val pp : Format.formatter -> t -> unit

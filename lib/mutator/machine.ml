@@ -59,6 +59,10 @@ type event =
   | E_park of { words : int }
   | E_unpark
   | E_clear_registers
+  | E_finalizer of { obj : Addr.t; token : int }
+  | E_spawn of { thread : int; words : int }
+  | E_join of { thread : int }
+  | E_write_barrier of { obj : Addr.t; field : int }
 
 type t = {
   mem : Mem.t;
@@ -72,6 +76,8 @@ type t = {
   registers : int array;
   mutable alloc_count : int;
   mutable park_restore : Addr.t option;
+  mutable threads : (int * Addr.t) list;  (* (thread id, sp to restore at join), LIFO *)
+  mutable next_thread : int;
   mutable tracer : (event -> unit) option;
   mutable traced_collections : int;
 }
@@ -100,6 +106,8 @@ let create ?(config = default_config) ?(seed = 42) mem ~stack ~gc =
       registers = Array.make config.n_registers 0;
       alloc_count = 0;
       park_restore = None;
+      threads = [];
+      next_thread = 0;
       tracer = None;
       traced_collections = 0;
     }
@@ -283,6 +291,33 @@ let unpark t =
 
 let parked t = t.park_restore <> None
 
+(* Threads beyond park/unpark: a spawned child owns a stack region of
+   its own below the parent's sp.  The model is cooperative and LIFO
+   (joins must nest), which is all the conservative marker cares about:
+   while a child runs, its region is scanned like any other live
+   stack. *)
+let spawn t ~words =
+  let new_sp = Addr.add t.sp (-(words * word)) in
+  if Addr.to_int new_sp < Addr.to_int (Segment.base t.stack) then
+    raise (Stack_overflow { sp = t.sp; requested_words = words; limit = Segment.base t.stack });
+  let thread = t.next_thread in
+  t.next_thread <- thread + 1;
+  t.threads <- (thread, t.sp) :: t.threads;
+  t.sp <- new_sp;
+  if Addr.to_int new_sp < Addr.to_int t.low_water then t.low_water <- new_sp;
+  emit t (E_spawn { thread; words });
+  thread
+
+let join t thread =
+  match t.threads with
+  | (tid, sp) :: rest when tid = thread ->
+      t.threads <- rest;
+      t.sp <- sp;
+      emit t (E_join { thread })
+  | _ -> invalid_arg "Machine.join: threads must be joined in LIFO order"
+
+let live_threads t = List.map fst t.threads
+
 (* The cheap stack-clearing algorithm of section 3.1: every
    [stack_clear_period] allocations, clear a bounded chunk of the dead
    region just below the stack pointer; clear more eagerly when the
@@ -311,6 +346,9 @@ let allocate ?pointer_free ?finalizer t bytes =
          bytes = rounded;
          pointer_free = (match pointer_free with Some b -> b | None -> false);
        });
+  (match finalizer with
+  | Some label -> emit t (E_finalizer { obj = base; token = Hashtbl.hash label land 0xFFFF })
+  | None -> ());
   (* Out-of-line allocator scratch: the fresh pointer is spilled just
      below the caller's stack.  GC-aware allocators clear it on exit. *)
   let scratch = Addr.add t.sp (-word) in
@@ -335,6 +373,13 @@ let read_field t obj i =
 
 let write_field t obj i v =
   emit t (E_heap_write { obj; field = i; value = v land 0xFFFFFFFF });
+  (* Generational write barrier: pointer stores card-mark the written
+     object.  Only modelled when a tracer is listening — the
+     conservative collector itself needs no barrier. *)
+  (match t.tracer with
+  | Some _ when Cgc.Gc.find_object t.gc (Addr.of_int (v land 0xFFFFFFFF)) <> None ->
+      emit t (E_write_barrier { obj; field = i })
+  | _ -> ());
   Cgc.Gc.set_field t.gc obj i v
 
 (* Global (static-data) root slots, e.g. a workload's scoreboard of

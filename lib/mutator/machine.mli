@@ -95,6 +95,17 @@ type event =
   | E_park of { words : int }
   | E_unpark
   | E_clear_registers
+  | E_finalizer of { obj : Addr.t; token : int }
+      (** A finalizer was registered for the object at [obj]; [token]
+          is a stable hash of the finalizer label. *)
+  | E_spawn of { thread : int; words : int }
+      (** A child thread starts owning [words] stack words below the
+          parent's sp. *)
+  | E_join of { thread : int }
+  | E_write_barrier of { obj : Addr.t; field : int }
+      (** Generational card-marking of a pointer store (synthesized for
+          every store whose value is a live object address; only emitted
+          while a tracer is attached). *)
 
 val set_tracer : t -> (event -> unit) option -> unit
 (** Attach (or detach) the single tracer.  Tracing is off by default
@@ -160,6 +171,26 @@ val unpark : t -> unit
     No-op if not parked. *)
 
 val parked : t -> bool
+
+(** {1 Threads}
+
+    A minimal cooperative thread model past park/unpark: a spawned
+    child owns a region of [words] stack words below the parent's sp
+    until joined.  Joins must nest (LIFO) — enough to exercise the
+    analyzer's thread-lifecycle handling without a scheduler. *)
+
+val spawn : t -> words:int -> int
+(** Start a child thread; returns its id.
+    @raise Stack_overflow when the child's region would not fit. *)
+
+val join : t -> int -> unit
+(** Join the most recently spawned live thread; its stack region
+    becomes dead stack.
+    @raise Invalid_argument when [thread] is not the innermost live
+    child. *)
+
+val live_threads : t -> int list
+(** Ids of spawned-but-unjoined threads, innermost first. *)
 
 (** {1 Allocation} *)
 

@@ -245,6 +245,58 @@ let test_r5_minimal () =
   in
   check bool "R5 mitigated by clearing" false (has cleared "R5")
 
+(* --- access-graph shape domain --- *)
+
+let test_shape_dead_link () =
+  (* a precise-dead head, still conservatively reachable through a
+     stale frame slot, links into a precise-live tail: the access graph
+     must keep that concrete edge (it is the fix generator's edit site) *)
+  let w = 64 - 6 in
+  let p =
+    mk
+      [
+        alloc 0 0x1000 8;
+        alloc 1 0x1040 8;
+        Ir.Heap_write { obj = 0; field = 0; value = handle 1 0x1040 };
+        Ir.Root_write { word = 0; value = handle 1 0x1040 };
+        push;
+        Ir.Local_write { word = w; value = handle 0 0x1000 };
+        Ir.Local_read { word = w };
+        pop;
+        push;
+        gc;
+        pop;
+        Ir.Root_read { word = 0 };
+      ]
+  in
+  let t = An.Analysis.run p in
+  match An.Shape.worst t.An.Analysis.shape with
+  | None -> Alcotest.fail "no shape graph"
+  | Some g ->
+      check int "one dead link" 1 (List.length g.An.Shape.sh_dead_links);
+      let l = List.hd g.An.Shape.sh_dead_links in
+      check int "source is the dead head" 0 l.An.Shape.l_src;
+      check int "link is field 0" 0 l.An.Shape.l_field;
+      check int "destination is the tail" 1 l.An.Shape.l_dst;
+      check bool "destination is precise-live" true l.An.Shape.l_dst_live
+
+let test_shape_self_linked () =
+  (* a chain of same-shaped cells linking through field 0 shows up as a
+     self-linked group — R1's path-sensitive evidence *)
+  let n = 4 in
+  let code = ref [] in
+  for i = 0 to n - 1 do
+    code := alloc i (0x1000 + (i * 64)) 8 :: !code;
+    if i > 0 then
+      code := Ir.Heap_write { obj = i; field = 0; value = handle (i - 1) (0x1000 + ((i - 1) * 64)) } :: !code
+  done;
+  code := Ir.Root_read { word = 0 } :: gc :: Ir.Root_write { word = 0; value = handle (n - 1) (0x1000 + ((n - 1) * 64)) } :: !code;
+  let t = An.Analysis.run (mk (List.rev !code)) in
+  let groups = An.Shape.self_linked t.An.Analysis.shape in
+  match List.assoc_opt (8, false) groups with
+  | Some fields -> check bool "links through field 0" true (List.mem 0 fields)
+  | None -> Alcotest.fail "chain group not self-linked"
+
 (* --- cross-validation against live recorded runs --- *)
 
 let outcome name =
@@ -280,6 +332,83 @@ let test_grid_scenarios () =
   check bool "separate grid not flagged" false
     (An.Analysis.has_finding separate.An.Scenarios.o_analysis "R1")
 
+let test_scenarios_back_to_back () =
+  (* regression: scenarios share the machine/recorder plumbing, so a
+     recorder left attached by one run would keep consuming events and
+     poison the next recording's IR.  Running the same scenario twice
+     must give identical programs. *)
+  let a = outcome "grid-embedded" in
+  let b = outcome "grid-embedded" in
+  assert_valid a;
+  assert_valid b;
+  let r o = o.An.Scenarios.o_analysis.An.Analysis.retention in
+  check int "same object count on re-run" (r a).An.Apparent.n_objects (r b).An.Apparent.n_objects;
+  check int "same gc point count on re-run"
+    (List.length (r a).An.Apparent.snapshots)
+    (List.length (r b).An.Apparent.snapshots);
+  check bool "finding reproduced" true (An.Analysis.has_finding b.An.Scenarios.o_analysis "R1")
+
+(* --- verified fix suggestions --- *)
+
+let assert_fix_verified name rule =
+  let o = outcome name in
+  match An.Analysis.fix_for o.An.Scenarios.o_analysis rule with
+  | None -> Alcotest.failf "%s: no %s finding with a suggestion" name rule
+  | Some f ->
+      let s =
+        match f.An.Analysis.suggestion with
+        | Some s -> s
+        | None -> Alcotest.failf "%s: %s fix carries no suggestion" name rule
+      in
+      (match f.An.Analysis.verdict with
+      | Some v -> check bool (name ^ ": static verdict sound") true (An.Fixes.sound v)
+      | None -> Alcotest.failf "%s: %s fix carries no verdict" name rule);
+      let c =
+        An.Replay.compare_fix o.An.Scenarios.o_analysis.An.Analysis.program s.An.Fixes.fx_edits
+      in
+      check bool (name ^ ": replay preserves reads") true c.An.Replay.cmp_reads_equal;
+      check bool (name ^ ": replay drops retained bytes") true (c.An.Replay.cmp_retention_drop > 0)
+
+let test_fix_r1_grid () = assert_fix_verified "grid-embedded" "R1"
+let test_fix_r2_queue () = assert_fix_verified "queue-no-clear" "R2"
+let test_fix_r5_reverse () = assert_fix_verified "list-reverse-careless" "R5"
+let test_fix_r5_program_t () = assert_fix_verified "program-t-careless" "R5"
+
+(* --- the starvation matrix --- *)
+
+let test_starvation_matrix () =
+  let entries = An.Scenarios.starvation_matrix () in
+  check bool "at least 12 scenarios" true (List.length entries >= 12);
+  List.iter
+    (fun (e : An.Scenarios.matrix_entry) ->
+      check bool
+        (Printf.sprintf "%s: predicted %s = measured %s" e.An.Scenarios.m_name
+           (An.Starvation.class_name e.An.Scenarios.m_predicted)
+           (An.Starvation.class_name e.An.Scenarios.m_measured))
+        true
+        (e.An.Scenarios.m_predicted = e.An.Scenarios.m_measured))
+    entries;
+  check bool "a memory-decayed OOM is exercised" true
+    (List.exists
+       (fun (e : An.Scenarios.matrix_entry) ->
+         match e.An.Scenarios.m_oom with
+         | Some d -> d.Cgc.Gc.memory_decayed
+         | None -> false)
+       entries);
+  List.iter
+    (fun c ->
+      check bool (An.Starvation.class_name c ^ " is exercised") true
+        (List.exists
+           (fun (e : An.Scenarios.matrix_entry) -> e.An.Scenarios.m_predicted = c)
+           entries))
+    [
+      An.Starvation.Safe;
+      An.Starvation.Ladder_rescuable;
+      An.Starvation.Blacklist_starved;
+      An.Starvation.Decay_vulnerable;
+      An.Starvation.Exhausted;
+    ]
+
 let () =
   Alcotest.run "analysis"
     [
@@ -302,9 +431,24 @@ let () =
           Alcotest.test_case "R4 large object" `Quick test_r4_large_object;
           Alcotest.test_case "R5 stack hygiene" `Quick test_r5_minimal;
         ] );
+      ( "shape",
+        [
+          Alcotest.test_case "dead link into live data" `Quick test_shape_dead_link;
+          Alcotest.test_case "self-linked group" `Quick test_shape_self_linked;
+        ] );
       ( "cross-validation",
         [
           Alcotest.test_case "queue pair" `Slow test_queue_scenarios;
           Alcotest.test_case "grid pair" `Slow test_grid_scenarios;
+          Alcotest.test_case "scenarios back to back" `Slow test_scenarios_back_to_back;
         ] );
+      ( "fixes",
+        [
+          Alcotest.test_case "R1 grid fix verified" `Slow test_fix_r1_grid;
+          Alcotest.test_case "R2 queue fix verified" `Slow test_fix_r2_queue;
+          Alcotest.test_case "R5 list-reverse fix verified" `Slow test_fix_r5_reverse;
+          Alcotest.test_case "R5 program-T fix verified" `Slow test_fix_r5_program_t;
+        ] );
+      ( "starvation",
+        [ Alcotest.test_case "matrix agreement" `Slow test_starvation_matrix ] );
     ]

@@ -580,6 +580,33 @@ let prop_clearing_monotone =
              <= An.Liveness.ISet.cardinal u.An.Apparent.apparent)
            plain cleared)
 
+(* --- fix suggestions are sound on arbitrary recorded programs --- *)
+
+(* Every fix the generator emits must be conservative: the edited
+   program keeps the original's precise liveness and its full read
+   stream, both in the static model ([verify_static]) and through the
+   real collector (the replay harness re-runs the edited trace and
+   diffs every value any read returns).  Retention is the only thing a
+   fix is allowed to move. *)
+let prop_fixes_sound =
+  QCheck.Test.make ~count:100 ~name:"analyzer: every emitted fix suggestion is sound" ir_ops_arb
+    (fun ops ->
+      let p = build_ir ops in
+      let t = An.Analysis.run p in
+      List.for_all
+        (fun (f : An.Analysis.fix) ->
+          match f.An.Analysis.suggestion with
+          | None -> true
+          | Some s ->
+              let static_ok =
+                match f.An.Analysis.verdict with
+                | None -> false
+                | Some v -> v.An.Fixes.sv_precise_preserved && v.An.Fixes.sv_reads_preserved
+              in
+              let c = An.Replay.compare_fix p s.An.Fixes.fx_edits in
+              static_ok && c.An.Replay.cmp_reads_equal)
+        t.An.Analysis.fixes)
+
 (* --- a single read fault loses at most one object's cone --- *)
 
 (* The marker downgrades a faulted word to "not a pointer", so one
@@ -654,6 +681,7 @@ let suite =
       prop_lazy_matches_eager;
       prop_analyzer_sound;
       prop_clearing_monotone;
+      prop_fixes_sound;
       prop_read_fault_cone;
     ]
 
