@@ -16,9 +16,12 @@
           --seeds N       range over N seeds in table 1
           --smoke         heavily down-scaled runs (CI)
           --json          also write a JSON summary
-          --json-out F    JSON destination (default BENCH_pr6.json)
+          --json-out F    JSON destination (default BENCH_pr7.json)
           --collector C   restrict the resilience matrix to one backend
-                          (conservative | generational | explicit | all) *)
+                          (conservative | generational | explicit | all)
+          --jobs N        marker-domain sweep ceiling for the mark
+                          section (default 4: measures jobs 1, 2, 4) and
+                          the tracer width for the resilience matrix *)
 
 open Cgc_vm
 module W = Cgc_workloads
@@ -51,8 +54,8 @@ let json_write path =
   close_out oc;
   Format.printf "@.wrote %s@." path
 
-(* Differential guard: the analyzer work must not move Table 1.
-   When a previous summary (BENCH_pr4.json) sits next to the output,
+(* Differential guard: the parallel-marking work must not move Table 1.
+   When a previous summary (BENCH_pr6.json) sits next to the output,
    every retention figure present in both must be bit-identical. *)
 let read_json_fields path =
   let ic = open_in path in
@@ -80,7 +83,7 @@ let read_json_fields path =
   List.rev !fields
 
 let check_table1_parity json_out =
-  let reference = Filename.concat (Filename.dirname json_out) "BENCH_pr4.json" in
+  let reference = Filename.concat (Filename.dirname json_out) "BENCH_pr6.json" in
   if Sys.file_exists reference then begin
     let is_t1 (k, _) = String.length k >= 7 && String.sub k 0 7 = "table1_" in
     let prev = List.filter is_t1 (read_json_fields reference) in
@@ -483,7 +486,7 @@ let ablations () =
    the paper's worst case for marker work.  Both paths run over the very
    same collector instance, so words/objects per cycle must agree
    exactly; the JSON records the throughput ratio. *)
-let mark_throughput ~smoke () =
+let mark_throughput ~smoke ~jobs () =
   section "Mark throughput"
     "flat-descriptor fast path vs reference scan loop (program T heap, SPARC static)";
   let p = W.Platform.sparc_static ~optimized:false in
@@ -567,6 +570,75 @@ let mark_throughput ~smoke () =
   if not parity then begin
     Format.eprintf "mark throughput: fast path diverged from reference@.";
     exit 1
+  end;
+  (* --- parallel tracer sweep (--jobs) ------------------------------
+     The work-stealing tracer over the same live heap, measured in
+     wall-clock words/sec (domains overlap, so CPU time would double-
+     count; the serial figures above are single-threaded, where
+     Sys.time and wall clock agree).  Every width must visit exactly
+     the serial word/object counts — the bit-identity claim — and a
+     jobs > 1 run in this fault-free bench must really go parallel. *)
+  let sweep = List.sort_uniq compare (List.filter (fun j -> j >= 1 && j <= jobs) [ 1; 2; 4; jobs ]) in
+  let last_fallback = ref None in
+  let run_parallel j gc =
+    let o = Cgc.Gc.Internal.run_mark_parallel gc ~jobs:j in
+    last_fallback := o.Cgc.Mark.Parallel.fallback
+  in
+  let time_wall j iters =
+    let w0 = st.Cgc.Stats.words_scanned and m0 = st.Cgc.Stats.objects_marked in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      run_parallel j gc
+    done;
+    let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+    let words = st.Cgc.Stats.words_scanned - w0 in
+    (float_of_int words /. dt, words / iters, (st.Cgc.Stats.objects_marked - m0) / iters)
+  in
+  let calibrate_wall j =
+    if smoke then 2
+    else begin
+      let t0 = Unix.gettimeofday () in
+      run_parallel j gc;
+      let dt = Float.max 1e-6 (Unix.gettimeofday () -. t0) in
+      max 3 (int_of_float (ceil (1.0 /. dt)))
+    end
+  in
+  Format.printf "@.  parallel tracer (host: %d cores recommended):@."
+    (Domain.recommended_domain_count ());
+  let results =
+    List.map
+      (fun j ->
+        let iters = calibrate_wall j in
+        let rate, words, marked = time_wall j iters in
+        let went_parallel = j <= 1 || !last_fallback = None in
+        Format.printf "  jobs=%d    : %11.0f words/s  (%d words, %d objects per cycle; %d cycles)%s@."
+          j rate words marked iters
+          (if went_parallel then ""
+           else
+             Printf.sprintf "  UNEXPECTED FALLBACK: %s"
+               (Cgc.Mark.Parallel.fallback_to_string (Option.get !last_fallback)));
+        json_float (Printf.sprintf "mark_jobs%d_words_per_sec" j) rate;
+        (j, rate, words, marked, went_parallel))
+      sweep
+  in
+  let jobs_parity =
+    List.for_all (fun (_, _, w, m, p) -> w = fast_words && m = fast_marked && p) results
+  in
+  json_int "mark_jobs_cores" (Domain.recommended_domain_count ());
+  json_bool "mark_jobs_parity" jobs_parity;
+  let rate_of j = List.find_map (fun (j', r, _, _, _) -> if j = j' then Some r else None) results in
+  (match (rate_of 1, rate_of 4) with
+  | Some r1, Some r4 ->
+      Format.printf "  jobs=4 speedup: %.2fx vs jobs=1, %.2fx vs reference scan loop@." (r4 /. r1)
+        (r4 /. ref_rate);
+      json_float "mark_jobs4_speedup" (r4 /. r1);
+      json_float "mark_jobs4_speedup_vs_reference" (r4 /. ref_rate)
+  | _ -> ());
+  Format.printf "  parity    : words and objects per cycle %s across jobs@."
+    (if jobs_parity then "identical" else "DIVERGED — parallel tracer is wrong");
+  if not jobs_parity then begin
+    Format.eprintf "mark throughput: parallel tracer diverged from the serial scanner@.";
+    exit 1
   end
 
 (* ------------------------------------------------------------------ *)
@@ -579,11 +651,11 @@ let mark_throughput ~smoke () =
    access-fault counts, so a regression in graceful degradation (a rung
    no longer reached, a read fault no longer downgraded, or OOM raised
    where relaxation used to rescue) shows up as a diff. *)
-let resilience ~smoke ?collectors () =
+let resilience ~smoke ?collectors ?(mark_jobs = 1) () =
   section "Resilience"
     "randomized mutator under injected commit/read/write faults (cross-collector chaos matrix)";
   let steps = if smoke then 400 else 1500 in
-  let outcomes = W.Chaos.run_matrix ~steps ?collectors ~seed () in
+  let outcomes = W.Chaos.run_matrix ~steps ?collectors ~mark_jobs ~seed () in
   List.iter (Format.printf "  %a@.%!" W.Chaos.pp_outcome) outcomes;
   let dirty = List.filter (fun o -> not (W.Chaos.clean o)) outcomes in
   let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
@@ -594,6 +666,10 @@ let resilience ~smoke ?collectors () =
     (sum (fun o -> o.W.Chaos.faults_injected))
     (sum (fun o -> o.W.Chaos.ooms_caught));
   json_int "resilience_steps_per_run" steps;
+  json_int "resilience_mark_jobs" mark_jobs;
+  json_int "resilience_mark_serial_fallbacks"
+    (sum_s (fun s -> s.Cgc.Stats.mark_serial_fallbacks));
+  json_int "resilience_parallel_marks" (sum_s (fun s -> s.Cgc.Stats.parallel_marks));
   json_int "resilience_runs" (List.length outcomes);
   json_int "resilience_clean_runs" (List.length outcomes - List.length dirty);
   json_int "resilience_faults_injected" (sum (fun o -> o.W.Chaos.faults_injected));
@@ -851,7 +927,15 @@ let () =
     let rec find = function
       | "--json-out" :: path :: _ -> path
       | _ :: rest -> find rest
-      | [] -> "BENCH_pr6.json"
+      | [] -> "BENCH_pr7.json"
+    in
+    find args
+  in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ -> (try max 1 (int_of_string n) with Failure _ -> 4)
+      | _ :: rest -> find rest
+      | [] -> 4
     in
     find args
   in
@@ -878,6 +962,7 @@ let () =
     | "--seeds" :: _ :: rest -> strip rest
     | "--json-out" :: _ :: rest -> strip rest
     | "--collector" :: _ :: rest -> strip rest
+    | "--jobs" :: _ :: rest -> strip rest
     | a :: rest -> a :: strip rest
     | [] -> []
   in
@@ -919,8 +1004,8 @@ let () =
       | `Threads -> pcr_threads ()
       | `Ablations -> ablations ()
       | `Overhead -> overhead ()
-      | `Mark -> mark_throughput ~smoke ()
-      | `Resilience -> resilience ~smoke ?collectors ()
+      | `Mark -> mark_throughput ~smoke ~jobs ()
+      | `Resilience -> resilience ~smoke ?collectors ~mark_jobs:jobs ()
       | `Starvation -> starvation ()
       | `Timing -> timing ())
     selected;

@@ -93,6 +93,17 @@ type t = {
           experiments keep the paper's strict regime — relaxation trades
           the blacklist's space guarantee for availability, Boehm's
           pragmatic answer to observation 7 *)
+  mark_jobs : int;
+      (** marker domains for the trace phase.  [1] (the default) runs
+          the serial fast path untouched; [n > 1] runs
+          {!Mark.Parallel} with [n] domains — a private Chase-Lev mark
+          stack and header cache per domain, atomic shadow mark bits,
+          per-domain blacklist buffers merged at the end barrier.  The
+          resulting mark bitmap, blacklist and downgrade behavior are
+          bit-identical to the serial marker.  While a [Mem.Fault]
+          access plan is armed the collector falls back to serial
+          marking (fault trip streams are stateful and cannot be raced)
+          and records a typed note in [Gc.last_mark_outcome]. *)
 }
 
 val default : t
@@ -100,7 +111,8 @@ val default : t
     aligned scanning, blacklisting on with refresh, atomic-on-black on,
     no trailing-zero avoidance, zeroing on, 64 initial pages, expansion
     increment 64 pages (backoff cap 256), space divisor 3, startup
-    collection on, blacklist relaxation off. *)
+    collection on, blacklist relaxation off, serial marking
+    ([mark_jobs = 1]). *)
 
 val validate : t -> unit
 (** @raise Invalid_argument on inconsistent settings. *)

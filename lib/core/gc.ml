@@ -19,6 +19,12 @@ type t = {
   mutable allocated_since_gc : int;
   mutable auto_collect : bool;
   mutable oom_hook : (int -> bool) option;
+  mutable last_mark_outcome : Mark.Parallel.outcome option;
+      (* how the most recent mark phase ran when [Config.mark_jobs > 1]:
+         parallel, or serial with a typed fallback note (armed access
+         plan).  [None] until the first such phase — and always [None]
+         with the default [mark_jobs = 1], whose serial path is
+         untouched *)
 }
 
 (* --- the allocation escalation ladder --- *)
@@ -118,6 +124,7 @@ let create ?(config = Config.default) mem ~base ~max_bytes () =
       allocated_since_gc = 0;
       auto_collect = true;
       oom_hook = None;
+      last_mark_outcome = None;
     }
   in
   t
@@ -146,6 +153,17 @@ let clear_roots t = Roots.clear t.roots
 
 let quarantined t i = Bitset.mem t.decayed_pages i
 
+let last_mark_outcome t = t.last_mark_outcome
+
+(* The mark phase, honouring [Config.mark_jobs]: 1 keeps the serial
+   fast path byte-for-byte (no outcome recorded); > 1 runs the parallel
+   tracer, which itself falls back to serial — with a typed note —
+   while a [Mem.Fault] access plan is armed. *)
+let run_mark_phase t =
+  let jobs = t.config.Config.mark_jobs in
+  if jobs <= 1 then Mark.run t.marker t.roots ~mem:t.mem
+  else t.last_mark_outcome <- Some (Mark.Parallel.run t.marker t.roots ~mem:t.mem ~jobs)
+
 (* Lazy mode: sweep every page still awaiting its sweep. *)
 let drain_pending_sweeps t =
   let freed = ref 0 in
@@ -163,7 +181,7 @@ let collect t =
   if t.config.Config.lazy_sweep then begin
     (* leftovers from the previous cycle must go before marks are reset *)
     let (_ : int) = drain_pending_sweeps t in
-    Mark.run t.marker t.roots ~mem:t.mem;
+    run_mark_phase t;
     let t1 = Sys.time () in
     Heap.iter_committed t.heap (fun i p ->
         match p with
@@ -173,7 +191,7 @@ let collect t =
     t.stats.Stats.total_gc_seconds <- t.stats.Stats.total_gc_seconds +. (t1 -. t0)
   end
   else begin
-    Mark.run t.marker t.roots ~mem:t.mem;
+    run_mark_phase t;
     let t1 = Sys.time () in
     let (_ : Sweep.result) =
       Sweep.run ~quarantined:(quarantined t) t.heap t.free_lists t.finalize t.stats
@@ -766,6 +784,11 @@ module Internal = struct
   let run_sweep t = Sweep.run ~quarantined:(quarantined t) t.heap t.free_lists t.finalize t.stats
   let run_mark t = Mark.run t.marker t.roots ~mem:t.mem
   let run_mark_reference t = Mark.Reference.run t.marker t.roots ~mem:t.mem
+
+  let run_mark_parallel t ~jobs =
+    let outcome = Mark.Parallel.run t.marker t.roots ~mem:t.mem ~jobs in
+    t.last_mark_outcome <- Some outcome;
+    outcome
 
   let is_marked t addr =
     match find_object t addr with

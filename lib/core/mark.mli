@@ -60,3 +60,41 @@ module Reference : sig
   val run : t -> Roots.t -> mem:Mem.t -> unit
   val mark_value : t -> int -> unit
 end
+
+(** The parallel tracer: N marker domains, each with a private
+    Chase-Lev mark stack ({!Cgc_vm.Ws_deque}) and a private one-entry
+    header cache, pulling root tasks from a shared queue and stealing
+    object work from each other.  Mark bits are won through atomic
+    shadow tables ({!Cgc_vm.Bitset.Atomic.test_and_set}) written back
+    serially after the domains join; blacklist notes are buffered
+    per-domain (pre-bucketed) and merged at the end barrier; stats
+    shards are summed so every counter keeps its serial meaning.
+    Mark-stack overflow generalizes the serial page rescan to "any idle
+    domain claims the next committed page".
+
+    The result — mark bitmap, blacklist, downgrade behavior — is
+    bit-identical to the serial marker for any [jobs], pinned by the
+    [test_mark_diff] QCheck differential. *)
+module Parallel : sig
+  type fallback =
+    | Serial_configured  (** [jobs <= 1]: the serial fast path, by design *)
+    | Access_plan_armed
+        (** a [Mem.Fault] access plan is armed; its trip streams are
+            stateful (countdowns, seeded draws) and cannot be raced
+            across domains, so the serial marker ran instead *)
+
+  val fallback_to_string : fallback -> string
+
+  type outcome = {
+    jobs_requested : int;
+    domains_used : int;  (** [jobs_requested] when parallel, 1 on fallback *)
+    fallback : fallback option;  (** [None] iff the parallel tracer ran *)
+    shards : Stats.t array;
+        (** per-domain stats snapshots (empty on fallback); their
+            trace-phase counters sum to the serial totals *)
+  }
+
+  val run : t -> Roots.t -> mem:Mem.t -> jobs:int -> outcome
+  (** Like {!run}, with [jobs] marker domains.  [jobs <= 1] or an armed
+      access plan runs the serial marker and says so in the outcome. *)
+end

@@ -30,6 +30,8 @@ type t = {
   mutable pages_decayed : int;
   mutable decay_retries : int;
   mutable oom_raised : int;
+  mutable parallel_marks : int;
+  mutable mark_serial_fallbacks : int;
   mutable mark_seconds : float;
   mutable sweep_seconds : float;
   mutable total_gc_seconds : float;
@@ -68,6 +70,8 @@ let create () =
     pages_decayed = 0;
     decay_retries = 0;
     oom_raised = 0;
+    parallel_marks = 0;
+    mark_serial_fallbacks = 0;
     mark_seconds = 0.;
     sweep_seconds = 0.;
     total_gc_seconds = 0.;
@@ -105,11 +109,27 @@ let reset t =
   t.pages_decayed <- 0;
   t.decay_retries <- 0;
   t.oom_raised <- 0;
+  t.parallel_marks <- 0;
+  t.mark_serial_fallbacks <- 0;
   t.mark_seconds <- 0.;
   t.sweep_seconds <- 0.;
   t.total_gc_seconds <- 0.
 
 let copy t = { t with collections = t.collections }
+
+(* Fold one parallel-marker domain shard into the session totals.  Only
+   the counters the trace phase touches are summed, so every existing
+   counter keeps its serial meaning: the per-domain contributions
+   partition the serial work exactly (each root word is scanned by one
+   domain; each object is scanned by the domain that won its mark bit). *)
+let merge_marking ~into shard =
+  into.words_scanned <- into.words_scanned + shard.words_scanned;
+  into.valid_refs <- into.valid_refs + shard.valid_refs;
+  into.false_refs <- into.false_refs + shard.false_refs;
+  into.objects_marked <- into.objects_marked + shard.objects_marked;
+  into.header_cache_hits <- into.header_cache_hits + shard.header_cache_hits;
+  into.mark_stack_overflows <- into.mark_stack_overflows + shard.mark_stack_overflows;
+  into.mark_downgrades <- into.mark_downgrades + shard.mark_downgrades
 
 let pp ppf t =
   Format.fprintf ppf
@@ -130,6 +150,7 @@ let pp ppf t =
      faults          %d commit faults, %d OOM raised@,\
      access faults   %d reads (%d mark downgrades), %d writes@,\
      decay           %d pages quarantined, %d alloc retries@,\
+     parallel mark   %d runs, %d serial fallbacks@,\
      gc time         %.6fs (mark %.6fs, sweep %.6fs)@]"
     t.collections t.words_scanned t.valid_refs t.false_refs t.objects_marked t.header_cache_hits
     t.objects_allocated
@@ -140,4 +161,5 @@ let pp ppf t =
     t.commit_faults t.oom_raised
     t.read_faults t.mark_downgrades t.write_faults
     t.pages_decayed t.decay_retries
+    t.parallel_marks t.mark_serial_fallbacks
     t.total_gc_seconds t.mark_seconds t.sweep_seconds

@@ -50,6 +50,11 @@ type t = {
       (** allocations retried after the returned slot's memory decayed
           (or its page was quarantined) under the allocator *)
   mutable oom_raised : int;  (** structured [Out_of_memory] raises after the ladder ran dry *)
+  mutable parallel_marks : int;  (** trace phases run by {!Mark.Parallel} with > 1 domain *)
+  mutable mark_serial_fallbacks : int;
+      (** parallel-mark requests served by the serial marker because a
+          [Mem.Fault] access plan was armed (trip streams are stateful
+          and cannot be raced across domains) *)
   mutable mark_seconds : float;
   mutable sweep_seconds : float;
   mutable total_gc_seconds : float;
@@ -58,4 +63,14 @@ type t = {
 val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
+
+val merge_marking : into:t -> t -> unit
+(** Fold one parallel-marker domain shard into the session totals: sums
+    the trace-phase counters ([words_scanned], [valid_refs],
+    [false_refs], [objects_marked], [header_cache_hits],
+    [mark_stack_overflows], [mark_downgrades]) and leaves every other
+    field of [into] untouched.  Because the domains partition the
+    serial marker's work exactly, the summed counters keep their
+    serial meaning. *)
+
 val pp : Format.formatter -> t -> unit

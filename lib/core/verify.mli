@@ -15,6 +15,9 @@ val check : Gc.t -> string list
     - the flat descriptor table ({!Heap.desc}) agrees row-by-row with
       the page variants, including physical identity of the shared
       bitsets and large-object records the scan fast path mutates;
+    - mark bits only cover allocated slots (and a marked large head is
+      an allocated one): no marker — serial or parallel — ever marks a
+      free or quarantine-removed slot;
     - every free-list entry addresses an unallocated, correctly aligned
       slot of a page of the matching size class and kind, and no slot
       appears twice;
@@ -37,6 +40,19 @@ val check_after_fault : Gc.t -> string list
     and no free-list slot lives on a quarantined (decayed) page. *)
 
 val check_heap : Heap.t -> string list
-(** The heap-level subset of {!check} — page-table shape and descriptor
-    coherence — usable against any backend sharing the page substrate
-    (e.g. the {!Explicit} baseline), without needing a [Gc.t]. *)
+(** The heap-level subset of {!check} — page-table shape, descriptor
+    coherence and the mark ⊆ alloc audit — usable against any backend
+    sharing the page substrate (e.g. the {!Explicit} baseline), without
+    needing a [Gc.t]. *)
+
+val check_parallel_mark : Gc.t -> string list
+(** Post-parallel-mark audit, valid between a mark phase run with
+    [Config.mark_jobs > 1] (or [Gc.Internal.run_mark_parallel]) and the
+    next sweep or allocation.  Includes {!check_heap} (whose
+    mark ⊆ alloc audit rules out mark bits on free or
+    quarantine-removed slots), checks that no unallocated large object
+    is flagged, and — when the tracer really ran parallel — that the
+    per-domain [Stats.objects_marked] shards sum to the number of mark
+    bits present in the heap: the exactly-once evidence of the
+    shadow-table CAS protocol plus a lossless write-back.  Returns []
+    when {!Gc.last_mark_outcome} is [None]. *)

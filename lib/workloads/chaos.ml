@@ -29,6 +29,13 @@ let plan_name = function
   | Write_chance { probability; seed = _ } -> Printf.sprintf "write-chance-%.4f" probability
   | Write_decay { every; region } -> Printf.sprintf "write-decay-%d/%dB" every region
 
+(* Plans that fault loads or stores: under these the parallel tracer
+   must take its typed serial fallback (faultable loads stay serialized
+   so access plans observe a deterministic probe order). *)
+let is_access_plan = function
+  | Read_chance _ | Read_decay _ | Write_chance _ | Write_decay _ -> true
+  | Countdown _ | Chance _ | Quota _ -> false
+
 let instantiate = function
   | Countdown { every } -> Mem.Fault.plan ~countdown:every ~rearm:true ()
   | Chance { probability; seed } -> Mem.Fault.plan ~probability:(probability, seed) ()
@@ -47,6 +54,7 @@ type outcome = {
   scenario : string;
   plan : string;
   steps : int;
+  mark_jobs : int;
   faults_injected : int;
   ooms_caught : int;
   mutator_read_faults : int;
@@ -240,7 +248,9 @@ let fault_free_alloc_ok w =
   Mem.set_fault_plan w.mem saved;
   ok
 
-let run_scenario ?(steps = 1500) ?(collector = Conservative) ~seed ~scenario ~config ~plan () =
+let run_scenario ?(steps = 1500) ?(collector = Conservative) ?(mark_jobs = 1) ~seed ~scenario
+    ~config ~plan () =
+  let config = { config with Cgc.Config.mark_jobs } in
   let w = make_world ~seed ~config ~collector in
   let fp = instantiate plan in
   Mem.set_fault_plan w.mem (Some fp);
@@ -272,11 +282,27 @@ let run_scenario ?(steps = 1500) ?(collector = Conservative) ~seed ~scenario ~co
   Mem.set_fault_plan w.mem None;
   let recovered = fault_free_alloc_ok w in
   let final_issues = w.ops.audit_final () in
+  let stats = w.ops.snapshot () in
+  (* Parallel-marking discipline, checked on the collector that owns the
+     tracer.  Under an armed access plan every mark phase must have taken
+     the typed serial fallback; under commit-only plans (loads and stores
+     never fault) the tracer must really have run parallel. *)
+  let final_issues =
+    if collector <> Conservative || mark_jobs <= 1 || stats.Cgc.Stats.collections = 0 then
+      final_issues
+    else if is_access_plan plan && stats.Cgc.Stats.mark_serial_fallbacks = 0 then
+      "parallel marking under an armed access plan never took the typed serial fallback"
+      :: final_issues
+    else if (not (is_access_plan plan)) && stats.Cgc.Stats.parallel_marks = 0 then
+      "commit-fault plan with mark_jobs > 1 never ran a parallel mark phase" :: final_issues
+    else final_issues
+  in
   {
     collector = collector_name collector;
     scenario;
     plan = plan_name plan;
     steps;
+    mark_jobs;
     faults_injected = Mem.faults_injected w.mem;
     ooms_caught = !ooms;
     mutator_read_faults = !mut_reads;
@@ -286,7 +312,7 @@ let run_scenario ?(steps = 1500) ?(collector = Conservative) ~seed ~scenario ~co
     post_fault_alloc_failures = !post_fault_failures;
     recovered;
     final_issues;
-    stats = w.ops.snapshot ();
+    stats;
     overrides = w.ops.overrides ();
   }
 
@@ -320,13 +346,14 @@ let scenarios_for = function
   | Conservative -> default_scenarios
   | Generational | Explicit -> [ ("eager", base_config) ]
 
-let run_matrix ?(steps = 1500) ?(collectors = all_collectors) ~seed () =
+let run_matrix ?(steps = 1500) ?(collectors = all_collectors) ?(mark_jobs = 1) ~seed () =
   List.concat_map
     (fun collector ->
       List.concat_map
         (fun (scenario, config) ->
           List.map
-            (fun plan -> run_scenario ~steps ~collector ~seed ~scenario ~config ~plan ())
+            (fun plan ->
+              run_scenario ~steps ~collector ~mark_jobs ~seed ~scenario ~config ~plan ())
             (default_plans ~seed @ access_plans ~seed))
         (scenarios_for collector))
     collectors
@@ -334,12 +361,12 @@ let run_matrix ?(steps = 1500) ?(collectors = all_collectors) ~seed () =
 let pp_outcome ppf o =
   let s = o.stats in
   Format.fprintf ppf
-    "@[<v>%-12s %-16s x %-18s: %d steps, %d faults injected, %d OOM caught -> %s@,\
+    "@[<v>%-12s %-16s x %-18s: %d steps (jobs %d), %d faults injected, %d OOM caught -> %s@,\
     \  ladder: %d collects, %d drains, %d trims, %d grows (%d backoffs), %d relax-fp, %d \
      relax-black, %d hooks; %d overrides; %d commit faults, %d raised@,\
     \  access: %d reads (%d mark downgrades) / %d writes faulted; %d mutator reads, %d mutator \
      writes; %d pages decayed, %d alloc retries@]"
-    o.collector o.scenario o.plan o.steps o.faults_injected o.ooms_caught
+    o.collector o.scenario o.plan o.steps o.mark_jobs o.faults_injected o.ooms_caught
     (if clean o then "clean" else "VIOLATIONS")
     s.Cgc.Stats.ladder_collects s.Cgc.Stats.ladder_drains s.Cgc.Stats.ladder_trims
     s.Cgc.Stats.ladder_expansions s.Cgc.Stats.ladder_backoffs s.Cgc.Stats.ladder_relax_first_page

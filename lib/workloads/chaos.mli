@@ -41,6 +41,12 @@ type plan_spec =
           collector's quarantine-and-retry escalation *)
 
 val plan_name : plan_spec -> string
+
+val is_access_plan : plan_spec -> bool
+(** Whether the plan faults loads or stores (as opposed to commits):
+    under such a plan a [mark_jobs > 1] run must take the tracer's typed
+    serial fallback. *)
+
 val instantiate : plan_spec -> Cgc_vm.Mem.Fault.plan
 
 type outcome = {
@@ -48,6 +54,7 @@ type outcome = {
   scenario : string;
   plan : string;
   steps : int;
+  mark_jobs : int;  (** marker domains requested of the conservative tracer *)
   faults_injected : int;
   ooms_caught : int;  (** [Out_of_memory] surfacing to the mutator — expected under pressure *)
   mutator_read_faults : int;
@@ -75,13 +82,20 @@ val clean : outcome -> bool
 val run_scenario :
   ?steps:int ->
   ?collector:collector ->
+  ?mark_jobs:int ->
   seed:int ->
   scenario:string ->
   config:Cgc.Config.t ->
   plan:plan_spec ->
   unit ->
   outcome
-(** Default collector: {!Conservative} (backward compatible). *)
+(** Default collector: {!Conservative} (backward compatible).
+    [mark_jobs] (default 1) overrides [Config.mark_jobs] so the same
+    matrix can run under the parallel tracer; with [mark_jobs > 1] the
+    run additionally asserts the marking discipline — access plans must
+    show the typed serial fallback, commit plans must really have marked
+    in parallel — and any violation lands in [final_issues], so {!clean}
+    catches it. *)
 
 val base_config : Cgc.Config.t
 (** {!Cgc.Config.default} on a small committed footprint (8 initial
@@ -99,10 +113,12 @@ val access_plans : seed:int -> plan_spec list
 (** The read/write fault plans: ECC read chance, read decay, write
     refusal chance, write decay. *)
 
-val run_matrix : ?steps:int -> ?collectors:collector list -> seed:int -> unit -> outcome list
+val run_matrix :
+  ?steps:int -> ?collectors:collector list -> ?mark_jobs:int -> seed:int -> unit -> outcome list
 (** Every scenario crossed with every commit {e and} access plan, for
     each requested collector (default: all three).  The conservative
     collector runs all {!default_scenarios}; the generational and
-    explicit backends run the eager base configuration. *)
+    explicit backends run the eager base configuration.  [mark_jobs]
+    (default 1) is forwarded to every cell. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -205,12 +205,73 @@ let prop_mark_value_matches_classify =
               true)
         values)
 
+(* The parallel tracer's bit-identity claim, across the same scenario
+   space (alignment x interior x displacements x stack limit x hashed
+   blacklist x endianness) crossed with jobs in {1, 2, 4}: a fresh
+   identical instance parallel-marked twice agrees with the serial fast
+   path on mark bitmaps, blacklisted pages and [objects_marked] after
+   every cycle; [words_scanned]/[valid_refs]/[false_refs] agree whenever
+   neither run overflowed (overflow-recovery rescan rounds revisit
+   scheduling-dependent amounts of work, so those tallies are only
+   deterministic overflow-free).  jobs = 1 must take the
+   [Serial_configured] note; jobs > 1 must really go parallel (no fault
+   plan here), pass the post-parallel-mark audit, and show per-domain
+   shards summing to the per-cycle totals. *)
+let prop_parallel_matches_serial =
+  QCheck.Test.make ~count:120 ~name:"parallel tracer == serial fast path (jobs 1/2/4)"
+    scenario_arb
+    (fun s ->
+      let gc_ser = build s in
+      Gc.Internal.run_mark gc_ser;
+      let ser1 = mark_state gc_ser in
+      Gc.Internal.run_mark gc_ser;
+      let ser2 = mark_state gc_ser in
+      let agree (m, b, (w, v, f, om, ov)) (m', b', (w', v', f', om', ov')) =
+        m = m' && b = b' && om = om'
+        && (ov > 0 || ov' > 0 || (w = w' && v = v' && f = f'))
+      in
+      let shard_sum o f =
+        Array.fold_left (fun acc sh -> acc + f sh) 0 o.Cgc.Mark.Parallel.shards
+      in
+      List.for_all
+        (fun jobs ->
+          let gc_par = build s in
+          let o1 = Gc.Internal.run_mark_parallel gc_par ~jobs in
+          let st1 = mark_state gc_par in
+          let o2 = Gc.Internal.run_mark_parallel gc_par ~jobs in
+          let st2 = mark_state gc_par in
+          let audit = Cgc.Verify.check_parallel_mark gc_par in
+          let note_ok =
+            if jobs = 1 then
+              o1.Cgc.Mark.Parallel.fallback = Some Cgc.Mark.Parallel.Serial_configured
+              && o2.Cgc.Mark.Parallel.fallback = Some Cgc.Mark.Parallel.Serial_configured
+            else
+              o1.Cgc.Mark.Parallel.fallback = None
+              && o2.Cgc.Mark.Parallel.fallback = None
+              && o1.Cgc.Mark.Parallel.domains_used = jobs
+          in
+          let shards_ok =
+            jobs = 1
+            ||
+            let _, _, (w1, v1, f1, om1, ov1) = st1 in
+            let _, _, (_, _, _, om2, _) = st2 in
+            shard_sum o1 (fun sh -> sh.Stats.objects_marked) = om1
+            && shard_sum o2 (fun sh -> sh.Stats.objects_marked) = om2 - om1
+            && (ov1 > 0
+               || shard_sum o1 (fun sh -> sh.Stats.words_scanned) = w1
+                  && shard_sum o1 (fun sh -> sh.Stats.valid_refs) = v1
+                  && shard_sum o1 (fun sh -> sh.Stats.false_refs) = f1)
+          in
+          agree st1 ser1 && agree st2 ser2 && audit = [] && note_ok && shards_ok)
+        [ 1; 2; 4 ])
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_fast_matches_reference;
       prop_fast_collect_matches_reference_collect;
       prop_mark_value_matches_classify;
+      prop_parallel_matches_serial;
     ]
 
 let () = Alcotest.run "mark-diff" [ ("differential", suite) ]

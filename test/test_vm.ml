@@ -176,6 +176,115 @@ let test_bitset_word_iter () =
   Bitset.iter_clear full (fun _ -> incr none);
   check int "no clear bits reported past n" 0 !none
 
+(* The atomic variant backing the parallel tracer's shadow mark tables:
+   test_and_set must report true exactly on the call that flips the bit
+   (the CAS winner), including at the 62-bit word boundaries. *)
+let test_bitset_atomic_test_and_set () =
+  let s = Bitset.Atomic.create 125 in
+  check bool "fresh empty" true (Bitset.Atomic.is_empty s);
+  check int "length" 125 (Bitset.Atomic.length s);
+  List.iter
+    (fun i ->
+      check bool (Printf.sprintf "first set of %d wins" i) true (Bitset.Atomic.test_and_set s i);
+      check bool (Printf.sprintf "second set of %d loses" i) false (Bitset.Atomic.test_and_set s i);
+      check bool (Printf.sprintf "mem %d" i) true (Bitset.Atomic.mem s i))
+    [ 0; 61; 62; 123; 124 ];
+  check bool "60 untouched" false (Bitset.Atomic.mem s 60);
+  check int "count" 5 (Bitset.Atomic.count s);
+  let seen = ref [] in
+  Bitset.Atomic.iter_set s (fun i -> seen := i :: !seen);
+  check (Alcotest.list int) "iter_set ascending" [ 0; 61; 62; 123; 124 ] (List.rev !seen);
+  let plain = Bitset.Atomic.to_plain s in
+  check bool "to_plain agrees" true (List.for_all (Bitset.mem plain) [ 0; 61; 62; 123; 124 ]);
+  check int "to_plain count" 5 (Bitset.count plain);
+  Bitset.Atomic.clear s;
+  check bool "cleared" true (Bitset.Atomic.is_empty s)
+
+(* Four domains race to set random bits; afterwards the atomic image
+   must equal the plain-bitset union of everything anyone set, and the
+   per-domain winner counts must sum to the union's cardinality — each
+   bit was awarded to exactly one caller (the tracer's exactly-once
+   marking argument in miniature). *)
+let test_bitset_atomic_storm () =
+  let n = 500 in
+  let s = Bitset.Atomic.create n in
+  let expected = Bitset.create n in
+  let picks =
+    Array.init 4 (fun d ->
+        let rng = Rng.create (0xA70 + d) in
+        Array.init 400 (fun _ -> Rng.int rng n))
+  in
+  Array.iter (fun a -> Array.iter (fun i -> Bitset.add expected i) a) picks;
+  let storm d =
+    let wins = ref 0 in
+    Array.iter (fun i -> if Bitset.Atomic.test_and_set s i then incr wins) picks.(d);
+    !wins
+  in
+  let domains = Array.init 3 (fun d -> Domain.spawn (fun () -> storm (d + 1))) in
+  let wins0 = storm 0 in
+  let wins = Array.fold_left (fun acc d -> acc + Domain.join d) wins0 domains in
+  check bool "storm image = plain union" true (Bitset.equal (Bitset.Atomic.to_plain s) expected);
+  check int "winner counts sum to union cardinality" (Bitset.count expected) wins;
+  (* blit_to overwrites a dirty destination with the exact image *)
+  let dst = Bitset.create n in
+  Bitset.add dst 1;
+  Bitset.Atomic.blit_to s ~dst;
+  check bool "blit_to overwrites" true (Bitset.equal dst expected)
+
+(* Chase-Lev deque sanity: owner-side LIFO, thief-side FIFO, growth
+   past the initial capacity, and a cross-domain drain that loses and
+   duplicates nothing. *)
+let test_ws_deque_basics () =
+  let q = Ws_deque.create ~capacity:16 () in
+  check bool "fresh empty" true (Ws_deque.is_empty q);
+  for i = 1 to 100 do
+    Ws_deque.push q i
+  done;
+  check int "size" 100 (Ws_deque.size q);
+  check (Alcotest.option int) "pop is LIFO" (Some 100) (Ws_deque.pop q);
+  check (Alcotest.option int) "steal is FIFO" (Some 1) (Ws_deque.steal q);
+  let rec drain acc = match Ws_deque.pop q with None -> acc | Some v -> drain (v :: acc) in
+  let rest = drain [] in
+  check int "drained remainder" 98 (List.length rest);
+  check (Alcotest.list int) "remainder in order" (List.init 98 (fun i -> i + 2)) rest;
+  check (Alcotest.option int) "empty pop" None (Ws_deque.pop q);
+  check (Alcotest.option int) "empty steal" None (Ws_deque.steal q)
+
+let test_ws_deque_concurrent_drain () =
+  let q = Ws_deque.create ~capacity:8 () in
+  let n = 2000 in
+  let thief () =
+    let got = ref [] in
+    let misses = ref 0 in
+    while !misses < 10_000 do
+      match Ws_deque.steal q with
+      | Some v ->
+          got := v :: !got;
+          misses := 0
+      | None -> incr misses
+    done;
+    !got
+  in
+  let thieves = Array.init 2 (fun _ -> Domain.spawn thief) in
+  let own = ref [] in
+  for i = 1 to n do
+    Ws_deque.push q i;
+    if i mod 3 = 0 then
+      match Ws_deque.pop q with Some v -> own := v :: !own | None -> ()
+  done;
+  let rec drain () =
+    match Ws_deque.pop q with
+    | Some v ->
+        own := v :: !own;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let stolen = Array.fold_left (fun acc d -> Domain.join d @ acc) [] thieves in
+  let all = List.sort compare (stolen @ !own) in
+  check int "nothing lost" n (List.length all);
+  check bool "no duplicates, every item once" true (all = List.init n (fun i -> i + 1))
+
 (* --- Segment --- *)
 
 let seg ?(endian = Endian.Little) ?(base = 0x1000) ?(size = 256) () =
@@ -412,6 +521,11 @@ let () =
           Alcotest.test_case "bounds" `Quick test_bitset_bounds;
           Alcotest.test_case "word boundaries" `Quick test_bitset_word_boundaries;
           Alcotest.test_case "word-level iterators" `Quick test_bitset_word_iter;
+          Alcotest.test_case "atomic test-and-set" `Quick test_bitset_atomic_test_and_set;
+          Alcotest.test_case "atomic 4-domain set storm" `Quick test_bitset_atomic_storm;
+          Alcotest.test_case "work-stealing deque basics" `Quick test_ws_deque_basics;
+          Alcotest.test_case "work-stealing deque concurrent drain" `Quick
+            test_ws_deque_concurrent_drain;
         ] );
       ( "segment",
         [
