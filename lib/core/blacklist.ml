@@ -80,6 +80,30 @@ let begin_cycle t =
     t.current <- old
   end
 
+(* Cycle snapshots for the quorum-degradation path of the parallel
+   marker: when a parallel trace is abandoned mid-flight, the serial
+   rerun calls [begin_cycle] a second time in the same collection,
+   which would age out the pre-trace [previous] set one cycle early
+   (and [begin_cycle] clears the displaced bitset in place, so the
+   snapshot must copy).  [save_cycle] before the parallel attempt and
+   [restore_cycle] before the serial rerun make the abandoned attempt
+   invisible to the aging protocol. *)
+type snapshot = {
+  s_current : Bitset.t;
+  s_previous : Bitset.t;
+  s_ops : int;
+}
+
+let save_cycle t =
+  { s_current = Bitset.copy t.current; s_previous = Bitset.copy t.previous; s_ops = t.ops }
+
+let restore_cycle t s =
+  Bitset.clear t.current;
+  Bitset.union_into ~dst:t.current s.s_current;
+  Bitset.clear t.previous;
+  Bitset.union_into ~dst:t.previous s.s_previous;
+  t.ops <- s.s_ops
+
 let count t =
   match t.representation with
   | Exact ->

@@ -78,6 +78,20 @@ val merge_noted : t -> Cgc_vm.Bitset.t -> notes:int -> unit
     have done, since noting is idempotent per bit.  Serial: call only
     after the marker domains have quiesced. *)
 
+type snapshot
+(** A deep copy of the aging state (current/previous cycle bitsets and
+    the op counter) taken with {!save_cycle}. *)
+
+val save_cycle : t -> snapshot
+(** Snapshot the cycle state before a parallel trace that might be
+    abandoned.  Copies the bitsets — {!begin_cycle} recycles the
+    displaced one in place, so aliasing would corrupt the snapshot. *)
+
+val restore_cycle : t -> snapshot -> unit
+(** Roll the aging state back to a {!save_cycle} snapshot, erasing an
+    abandoned trace's rotation and partial notes so the serial rerun's
+    own {!begin_cycle} ages entries exactly once per collection. *)
+
 val iter : (int -> unit) -> t -> unit
 (** Iterate over currently black pages in increasing order. *)
 

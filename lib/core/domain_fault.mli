@@ -1,0 +1,54 @@
+(** Marker-domain failure plans — the tracer-side sibling of
+    {!Cgc_vm.Mem.Fault}.
+
+    Where a [Mem.Fault] plan makes the simulated {e memory} unreliable,
+    a [Domain_fault] plan makes one {e marker domain} of the parallel
+    tracer unreliable: it freezes, dies, spins uselessly or merely
+    crawls.  Plans are consulted at the tracer's instrumented
+    checkpoints (deque push/pop/steal and chunk-claim sites inside
+    [Mark.Parallel]); the trigger counters make every trip
+    deterministic, so the QCheck differentials can pin the recovered
+    mark state bit-identical to the serial scanner.
+
+    Failure taxonomy (DESIGN.md §9):
+    - {!Stall}: the domain freezes at its [after_claims]-th work-claim
+      attempt — an item {e boundary}, so its shard is consistent and
+      recovery merges it (crash-after-publish).
+    - {!Crash}: the domain dies abruptly at its [at_step]-th checkpoint
+      of any kind.  A crash at a claim site is a boundary crash; a
+      crash at a push site is mid-item, and recovery must discard the
+      shard and rescan (crash-before-publish).
+    - {!Livelock}: the domain claims its [on_claim]-th item and then
+      "processes" it forever without completing — always mid-item,
+      always the discard-and-rescan path.
+    - {!Straggler}: the domain stays correct but spins [spin] relax
+      loops at every checkpoint.  Its heartbeats keep advancing, so a
+      generous {!Config.mark_watchdog_budget} tolerates it; a tight
+      budget reclaims it like any suspect — and recovery is exact even
+      for such a false positive, because the fence protocol stops the
+      domain before touching its state. *)
+
+type mode =
+  | Stall of { after_claims : int }
+      (** freeze just before the [after_claims+1]-th successful work
+          claim (0 = freeze before doing anything) *)
+  | Crash of { at_step : int }
+      (** die at the [at_step]-th checkpoint, counting every
+          push/pop/steal/claim site passed *)
+  | Livelock of { on_claim : int }
+      (** claim the [on_claim]-th item, then spin on it forever *)
+  | Straggler of { spin : int }  (** [spin] cpu-relax loops per checkpoint *)
+
+type plan
+(** One failure bound to one victim domain. *)
+
+val plan : domain:int -> mode -> plan
+(** @raise Invalid_argument when [domain < 1] (the leader, domain 0,
+    hosts the watchdog and never fails) or the mode's trigger is out of
+    range. *)
+
+val victim : plan -> int
+val mode : plan -> mode
+val mode_name : mode -> string
+val name : plan -> string
+val pp : Format.formatter -> plan -> unit

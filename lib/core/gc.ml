@@ -22,9 +22,12 @@ type t = {
   mutable last_mark_outcome : Mark.Parallel.outcome option;
       (* how the most recent mark phase ran when [Config.mark_jobs > 1]:
          parallel, or serial with a typed fallback note (armed access
-         plan).  [None] until the first such phase — and always [None]
-         with the default [mark_jobs = 1], whose serial path is
-         untouched *)
+         plan, or marker-domain failures breaking quorum).  [None] until
+         the first such phase — and always [None] with the default
+         [mark_jobs = 1], whose serial path is untouched *)
+  mutable domain_faults : Domain_fault.plan list;
+      (* armed marker-domain failure plans, handed to every parallel
+         mark phase until disarmed; [] for the healthy tracer *)
 }
 
 (* --- the allocation escalation ladder --- *)
@@ -125,6 +128,7 @@ let create ?(config = Config.default) mem ~base ~max_bytes () =
       auto_collect = true;
       oom_hook = None;
       last_mark_outcome = None;
+      domain_faults = [];
     }
   in
   t
@@ -154,15 +158,20 @@ let clear_roots t = Roots.clear t.roots
 let quarantined t i = Bitset.mem t.decayed_pages i
 
 let last_mark_outcome t = t.last_mark_outcome
+let set_domain_faults t plans = t.domain_faults <- plans
+let domain_faults t = t.domain_faults
 
 (* The mark phase, honouring [Config.mark_jobs]: 1 keeps the serial
    fast path byte-for-byte (no outcome recorded); > 1 runs the parallel
    tracer, which itself falls back to serial — with a typed note —
-   while a [Mem.Fault] access plan is armed. *)
+   while a [Mem.Fault] access plan is armed or when injected
+   marker-domain failures break [Config.mark_quorum] mid-trace. *)
 let run_mark_phase t =
   let jobs = t.config.Config.mark_jobs in
   if jobs <= 1 then Mark.run t.marker t.roots ~mem:t.mem
-  else t.last_mark_outcome <- Some (Mark.Parallel.run t.marker t.roots ~mem:t.mem ~jobs)
+  else
+    t.last_mark_outcome <-
+      Some (Mark.Parallel.run ~faults:t.domain_faults t.marker t.roots ~mem:t.mem ~jobs)
 
 (* Lazy mode: sweep every page still awaiting its sweep. *)
 let drain_pending_sweeps t =
@@ -785,8 +794,9 @@ module Internal = struct
   let run_mark t = Mark.run t.marker t.roots ~mem:t.mem
   let run_mark_reference t = Mark.Reference.run t.marker t.roots ~mem:t.mem
 
-  let run_mark_parallel t ~jobs =
-    let outcome = Mark.Parallel.run t.marker t.roots ~mem:t.mem ~jobs in
+  let run_mark_parallel ?(faults = []) t ~jobs =
+    let faults = if faults = [] then t.domain_faults else faults in
+    let outcome = Mark.Parallel.run ~faults t.marker t.roots ~mem:t.mem ~jobs in
     t.last_mark_outcome <- Some outcome;
     outcome
 

@@ -32,6 +32,9 @@ type t = {
   mutable oom_raised : int;
   mutable parallel_marks : int;
   mutable mark_serial_fallbacks : int;
+  mutable mark_domain_faults : int;
+  mutable mark_domains_recovered : int;
+  mutable mark_quorum_degradations : int;
   mutable mark_seconds : float;
   mutable sweep_seconds : float;
   mutable total_gc_seconds : float;
@@ -72,6 +75,9 @@ let create () =
     oom_raised = 0;
     parallel_marks = 0;
     mark_serial_fallbacks = 0;
+    mark_domain_faults = 0;
+    mark_domains_recovered = 0;
+    mark_quorum_degradations = 0;
     mark_seconds = 0.;
     sweep_seconds = 0.;
     total_gc_seconds = 0.;
@@ -111,6 +117,9 @@ let reset t =
   t.oom_raised <- 0;
   t.parallel_marks <- 0;
   t.mark_serial_fallbacks <- 0;
+  t.mark_domain_faults <- 0;
+  t.mark_domains_recovered <- 0;
+  t.mark_quorum_degradations <- 0;
   t.mark_seconds <- 0.;
   t.sweep_seconds <- 0.;
   t.total_gc_seconds <- 0.
@@ -121,7 +130,10 @@ let copy t = { t with collections = t.collections }
    the counters the trace phase touches are summed, so every existing
    counter keeps its serial meaning: the per-domain contributions
    partition the serial work exactly (each root word is scanned by one
-   domain; each object is scanned by the domain that won its mark bit). *)
+   domain; each object is scanned by the domain that won its mark bit).
+   The consumed counters are zeroed in the shard so merging is a
+   transfer, not a copy: merging the same shard twice (or merging after
+   a recovery-path discard) contributes nothing the second time. *)
 let merge_marking ~into shard =
   into.words_scanned <- into.words_scanned + shard.words_scanned;
   into.valid_refs <- into.valid_refs + shard.valid_refs;
@@ -129,7 +141,27 @@ let merge_marking ~into shard =
   into.objects_marked <- into.objects_marked + shard.objects_marked;
   into.header_cache_hits <- into.header_cache_hits + shard.header_cache_hits;
   into.mark_stack_overflows <- into.mark_stack_overflows + shard.mark_stack_overflows;
-  into.mark_downgrades <- into.mark_downgrades + shard.mark_downgrades
+  into.mark_downgrades <- into.mark_downgrades + shard.mark_downgrades;
+  shard.words_scanned <- 0;
+  shard.valid_refs <- 0;
+  shard.false_refs <- 0;
+  shard.objects_marked <- 0;
+  shard.header_cache_hits <- 0;
+  shard.mark_stack_overflows <- 0;
+  shard.mark_downgrades <- 0
+
+(* Throw away a shard's trace-phase counters without crediting them
+   anywhere — the crash-before-publish arm of marker-domain recovery,
+   where the victim's in-flight item is rolled back and rescanned by a
+   survivor (which re-earns the counts). *)
+let discard_marking shard =
+  shard.words_scanned <- 0;
+  shard.valid_refs <- 0;
+  shard.false_refs <- 0;
+  shard.objects_marked <- 0;
+  shard.header_cache_hits <- 0;
+  shard.mark_stack_overflows <- 0;
+  shard.mark_downgrades <- 0
 
 let pp ppf t =
   Format.fprintf ppf
@@ -151,6 +183,7 @@ let pp ppf t =
      access faults   %d reads (%d mark downgrades), %d writes@,\
      decay           %d pages quarantined, %d alloc retries@,\
      parallel mark   %d runs, %d serial fallbacks@,\
+     domain faults   %d injected, %d domains recovered, %d quorum degradations@,\
      gc time         %.6fs (mark %.6fs, sweep %.6fs)@]"
     t.collections t.words_scanned t.valid_refs t.false_refs t.objects_marked t.header_cache_hits
     t.objects_allocated
@@ -162,4 +195,5 @@ let pp ppf t =
     t.read_faults t.mark_downgrades t.write_faults
     t.pages_decayed t.decay_retries
     t.parallel_marks t.mark_serial_fallbacks
+    t.mark_domain_faults t.mark_domains_recovered t.mark_quorum_degradations
     t.total_gc_seconds t.mark_seconds t.sweep_seconds

@@ -247,7 +247,17 @@ let check_after_fault gc =
      per-domain [objects_marked] shards must sum to the number of mark
      bits actually present in the heap: the exactly-once guarantee of
      the shadow-table CAS protocol, and evidence the serial write-back
-     lost nothing. *)
+     lost nothing.  The guarantee survives marker-domain recovery:
+     dirty-reclaimed shards were discarded and their bits re-won by
+     survivors, clean-reclaimed ones merged intact;
+
+   - heartbeat/quorum audit — the watchdog's trail must be internally
+     consistent: one heartbeat word per spawned domain, enough total
+     beats to cover every issued root task (each task claim bumps
+     exactly one heartbeat), every reclaim classified as exactly one of
+     clean/dirty, and the survivor count on the right side of the
+     quorum for the recorded outcome (>= quorum when the trace
+     completed, < quorum when it degraded to [Domain_failed]). *)
 let check_parallel_mark gc =
   match Gc.last_mark_outcome gc with
   | None -> []
@@ -276,6 +286,34 @@ let check_parallel_mark gc =
           in
           if sum <> !marked then
             add "parallel-mark shards claim %d marked objects, the heap holds %d" sum !marked);
+      (match o.Mark.Parallel.health with
+      | None -> ()
+      | Some h ->
+          let open Mark.Parallel in
+          if Array.length h.heartbeats <> o.domains_used then
+            add "watchdog tracked %d heartbeat words for %d domains" (Array.length h.heartbeats)
+              o.domains_used;
+          let beats = Array.fold_left ( + ) 0 h.heartbeats in
+          if beats < h.tasks_issued then
+            add "%d heartbeats cannot cover %d issued root tasks (every claim beats once)" beats
+              h.tasks_issued;
+          let reclaimed = List.length h.failed in
+          if h.clean_recoveries + h.dirty_recoveries <> reclaimed then
+            add "%d clean + %d dirty recoveries for %d reclaimed domains" h.clean_recoveries
+              h.dirty_recoveries reclaimed;
+          if h.survivors <> o.domains_used - reclaimed then
+            add "%d survivors of %d domains disagree with %d reclaims" h.survivors o.domains_used
+              reclaimed;
+          if List.mem 0 h.failed then add "the leader (domain 0) was reclaimed; it hosts the watchdog";
+          match o.fallback with
+          | None ->
+              if h.survivors < h.quorum then
+                add "trace completed with %d survivors below quorum %d" h.survivors h.quorum
+          | Some Domain_failed ->
+              if h.survivors >= h.quorum then
+                add "trace degraded with %d survivors at or above quorum %d" h.survivors h.quorum
+          | Some (Serial_configured | Access_plan_armed) ->
+              add "up-front serial fallback carries a watchdog trail");
       List.rev !issues
 
 let check_after_collect gc =

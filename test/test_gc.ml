@@ -176,6 +176,12 @@ let test_config_validation () =
   reject "zero divisor" { Config.default with Config.space_divisor = 0 };
   reject "tiny mark stack" { Config.default with Config.mark_stack_limit = Some 4 };
   reject "zero buckets" { Config.default with Config.blacklist_buckets = Some 0 };
+  reject "zero watchdog budget" { Config.default with Config.mark_watchdog_budget = 0 };
+  reject "negative watchdog budget" { Config.default with Config.mark_watchdog_budget = -3 };
+  reject "zero quorum" { Config.default with Config.mark_quorum = 0 };
+  reject "quorum above mark_jobs"
+    { Config.default with Config.mark_jobs = 2; Config.mark_quorum = 3 };
+  Config.validate { Config.default with Config.mark_jobs = 4; Config.mark_quorum = 4 };
   Config.validate Config.default
 
 let test_pp_smoke () =
@@ -899,6 +905,57 @@ let test_stats_counters () =
   check bool "words were scanned" true (s.Stats.words_scanned > 0);
   check bool "a valid ref was seen" true (s.Stats.valid_refs >= 1)
 
+(* [merge_marking] is a *transfer*: it folds a shard's trace counters
+   into the target and zeroes the shard, so double-merging a shard (as
+   the reclamation path may after a clean recovery) is idempotent, and
+   a discarded shard contributes nothing. *)
+let fill_shard () =
+  let sh = Stats.create () in
+  sh.Stats.words_scanned <- 100;
+  sh.Stats.valid_refs <- 40;
+  sh.Stats.false_refs <- 7;
+  sh.Stats.objects_marked <- 25;
+  sh.Stats.header_cache_hits <- 12;
+  sh.Stats.mark_stack_overflows <- 2;
+  sh.Stats.mark_downgrades <- 1;
+  sh
+
+let trace_tuple s =
+  ( s.Stats.words_scanned,
+    s.Stats.valid_refs,
+    s.Stats.false_refs,
+    s.Stats.objects_marked,
+    s.Stats.header_cache_hits,
+    s.Stats.mark_stack_overflows,
+    s.Stats.mark_downgrades )
+
+let test_stats_merge_marking_empty_shard () =
+  let into = fill_shard () in
+  let before = trace_tuple into in
+  Stats.merge_marking ~into (Stats.create ());
+  check bool "empty shard is a no-op" true (trace_tuple into = before)
+
+let test_stats_merge_marking_double_merge () =
+  let into = Stats.create () in
+  let shard = fill_shard () in
+  Stats.merge_marking ~into shard;
+  check bool "shard zeroed by the transfer" true
+    (trace_tuple shard = (0, 0, 0, 0, 0, 0, 0));
+  let after_first = trace_tuple into in
+  check bool "counters transferred" true (after_first = (100, 40, 7, 25, 12, 2, 1));
+  Stats.merge_marking ~into shard;
+  check bool "double merge is idempotent" true (trace_tuple into = after_first)
+
+let test_stats_merge_after_discard () =
+  let into = Stats.create () in
+  let shard = fill_shard () in
+  Stats.discard_marking shard;
+  check bool "discard zeroes the trace counters" true
+    (trace_tuple shard = (0, 0, 0, 0, 0, 0, 0));
+  Stats.merge_marking ~into shard;
+  check bool "merge after discard contributes nothing" true
+    (trace_tuple into = (0, 0, 0, 0, 0, 0, 0))
+
 let () =
   Alcotest.run "gc"
     [
@@ -1007,5 +1064,14 @@ let () =
           Alcotest.test_case "vs conservative" `Quick test_precise_vs_conservative_misidentification;
           Alcotest.test_case "type descriptors" `Quick test_type_desc_validation;
         ] );
-      ("stats", [ Alcotest.test_case "counters" `Quick test_stats_counters ]);
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "merge_marking: empty shard" `Quick
+            test_stats_merge_marking_empty_shard;
+          Alcotest.test_case "merge_marking: transfer + double-merge idempotence" `Quick
+            test_stats_merge_marking_double_merge;
+          Alcotest.test_case "merge_marking: merge after discard" `Quick
+            test_stats_merge_after_discard;
+        ] );
     ]

@@ -82,7 +82,7 @@ let scenario_gen =
         s_big_endian = big_endian;
       })
 
-let build s =
+let build ?(tweak = fun c -> c) s =
   let mem =
     Mem.create ~endian:(if s.s_big_endian then Endian.Big else Endian.Little) ()
   in
@@ -90,15 +90,16 @@ let build s =
     Mem.map mem ~name:"roots" ~kind:Segment.Static_data ~base:(Addr.of_int 0x10000) ~size:0x1000
   in
   let config =
-    {
-      Config.default with
-      Config.alignment = s.s_alignment;
-      interior_pointers = s.s_interior;
-      valid_displacements = s.s_disps;
-      mark_stack_limit = s.s_limit;
-      blacklist_buckets = (if s.s_hashed then Some 61 else None);
-      initial_pages = 16;
-    }
+    tweak
+      {
+        Config.default with
+        Config.alignment = s.s_alignment;
+        interior_pointers = s.s_interior;
+        valid_displacements = s.s_disps;
+        mark_stack_limit = s.s_limit;
+        blacklist_buckets = (if s.s_hashed then Some 61 else None);
+        initial_pages = 16;
+      }
   in
   let gc = Gc.create ~config mem ~base:(Addr.of_int heap_base) ~max_bytes:heap_bytes () in
   Gc.set_auto_collect gc false;
@@ -265,6 +266,116 @@ let prop_parallel_matches_serial =
           agree st1 ser1 && agree st2 ser2 && audit = [] && note_ok && shards_ok)
         [ 1; 2; 4 ])
 
+module DF = Cgc.Domain_fault
+module Parallel = Cgc.Mark.Parallel
+
+(* The self-healing claim (DESIGN.md §9): for any injected failure of
+   k < jobs marker domains — stall at an item boundary, crash at an
+   odd/even checkpoint step (hitting boundary and mid-item sites),
+   livelock holding a claimed item, slow straggler under a watchdog
+   budget tight enough to reclaim even healthy-but-slow domains — the
+   recovered mark bitmaps, blacklisted pages and [objects_marked] are
+   bit-identical to the serial scanner, the trace still completes in
+   parallel (quorum 1 cannot break: the leader never fails), and the
+   heartbeat/quorum audit passes.  [strict] plans (stall / crash /
+   livelock) must actually be reclaimed whenever they tripped; a
+   straggler is merely slow, so reclaiming it is the watchdog's choice —
+   and recovery must be exact either way, including for that false
+   positive. *)
+let prop_parallel_recovers_from_domain_faults =
+  QCheck.Test.make ~count:60
+    ~name:"self-healing tracer == serial under injected domain failures (jobs 2/4)" scenario_arb
+    (fun s ->
+      let gc_ser = build s in
+      Gc.Internal.run_mark gc_ser;
+      let m_ser, b_ser, (_, _, _, om_ser, _) = mark_state gc_ser in
+      let tweak c = { c with Config.mark_watchdog_budget = 8 } in
+      let plans jobs =
+        [
+          ([ DF.plan ~domain:1 (DF.Stall { after_claims = 2 }) ], true);
+          ([ DF.plan ~domain:1 (DF.Crash { at_step = 5 }) ], true);
+          ([ DF.plan ~domain:1 (DF.Crash { at_step = 8 }) ], true);
+          ([ DF.plan ~domain:1 (DF.Livelock { on_claim = 2 }) ], true);
+          ([ DF.plan ~domain:1 (DF.Straggler { spin = 200 }) ], false);
+          ( [
+              DF.plan ~domain:1 (DF.Stall { after_claims = 1 });
+              DF.plan ~domain:(min 2 (jobs - 1)) (DF.Crash { at_step = 7 });
+            ],
+            true );
+        ]
+      in
+      List.for_all
+        (fun jobs ->
+          List.for_all
+            (fun (faults, strict) ->
+              let gc_par = build ~tweak s in
+              let o = Gc.Internal.run_mark_parallel ~faults gc_par ~jobs in
+              let m, b, (_, _, _, om, _) = mark_state gc_par in
+              let audit = Cgc.Verify.check_parallel_mark gc_par in
+              let st = Gc.stats gc_par in
+              let health_ok =
+                match o.Parallel.health with
+                | None -> false
+                | Some h ->
+                    h.Parallel.survivors + List.length h.Parallel.failed = jobs
+                    && h.Parallel.clean_recoveries + h.Parallel.dirty_recoveries
+                       = List.length h.Parallel.failed
+                    && (not strict)
+                       || st.Stats.mark_domain_faults = 0
+                       || List.length h.Parallel.failed > 0
+                          && st.Stats.mark_domains_recovered > 0
+              in
+              m = m_ser && b = b_ser && om = om_ser
+              && o.Parallel.fallback = None
+              && audit = [] && health_ok)
+            (plans jobs))
+        [ 2; 4 ])
+
+(* Quorum break: with [mark_quorum = jobs], one crashed domain drops
+   the survivors below quorum; the parallel attempt must be abandoned
+   wholesale (shadow marks and shards discarded, blacklist cycle
+   rotation rolled back) and the serial rerun must leave the *entire*
+   mark state — including the schedule-sensitive word/ref tallies —
+   bit-identical to a serial-only instance, across two aging cycles.
+   The outcome carries the typed [Domain_failed] note, the audit's
+   quorum arm holds, and each degradation counts one quorum degradation
+   plus one serial fallback. *)
+let prop_quorum_break_degrades_to_serial =
+  QCheck.Test.make ~count:40 ~name:"quorum break == serial rerun (Domain_failed, bit-identical)"
+    scenario_arb
+    (fun s ->
+      let gc_ser = build s in
+      Gc.Internal.run_mark gc_ser;
+      let ser1 = mark_state gc_ser in
+      Gc.Internal.run_mark gc_ser;
+      let ser2 = mark_state gc_ser in
+      let jobs = 2 in
+      let tweak c =
+        {
+          c with
+          Config.mark_watchdog_budget = 8;
+          Config.mark_quorum = jobs;
+          Config.mark_jobs = jobs;
+        }
+      in
+      let faults = [ DF.plan ~domain:1 (DF.Crash { at_step = 1 }) ] in
+      let gc_par = build ~tweak s in
+      let o1 = Gc.Internal.run_mark_parallel ~faults gc_par ~jobs in
+      let st1 = mark_state gc_par in
+      let o2 = Gc.Internal.run_mark_parallel ~faults gc_par ~jobs in
+      let st2 = mark_state gc_par in
+      let audit = Cgc.Verify.check_parallel_mark gc_par in
+      let st = Gc.stats gc_par in
+      st1 = ser1 && st2 = ser2
+      && o1.Parallel.fallback = Some Parallel.Domain_failed
+      && o2.Parallel.fallback = Some Parallel.Domain_failed
+      && audit = []
+      && st.Stats.mark_quorum_degradations = 2
+      && st.Stats.mark_serial_fallbacks = 2
+      && (match o1.Parallel.health with
+         | Some h -> h.Parallel.survivors < h.Parallel.quorum
+         | None -> false))
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -272,6 +383,8 @@ let suite =
       prop_fast_collect_matches_reference_collect;
       prop_mark_value_matches_classify;
       prop_parallel_matches_serial;
+      prop_parallel_recovers_from_domain_faults;
+      prop_quorum_break_degrades_to_serial;
     ]
 
 let () = Alcotest.run "mark-diff" [ ("differential", suite) ]
