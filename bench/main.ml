@@ -16,7 +16,7 @@
           --seeds N       range over N seeds in table 1
           --smoke         heavily down-scaled runs (CI)
           --json          also write a JSON summary
-          --json-out F    JSON destination (default BENCH_pr8.json)
+          --json-out F    JSON destination (default BENCH_pr9.json)
           --collector C   restrict the resilience matrix to one backend
                           (conservative | generational | explicit | all)
           --jobs N        marker-domain sweep ceiling for the mark
@@ -55,7 +55,7 @@ let json_write path =
   Format.printf "@.wrote %s@." path
 
 (* Differential guard: the parallel-marking work must not move Table 1.
-   When a previous summary (BENCH_pr7.json) sits next to the output,
+   When a previous summary (BENCH_pr8.json) sits next to the output,
    every retention figure present in both must be bit-identical. *)
 let read_json_fields path =
   let ic = open_in path in
@@ -83,7 +83,7 @@ let read_json_fields path =
   List.rev !fields
 
 let check_table1_parity json_out =
-  let reference = Filename.concat (Filename.dirname json_out) "BENCH_pr7.json" in
+  let reference = Filename.concat (Filename.dirname json_out) "BENCH_pr8.json" in
   if Sys.file_exists reference then begin
     let is_t1 (k, _) = String.length k >= 7 && String.sub k 0 7 = "table1_" in
     let prev = List.filter is_t1 (read_json_fields reference) in
@@ -322,13 +322,74 @@ let generational () =
   section "Generational" "stray stack pointers cap generational collection (section 3.1)";
   List.iter
     (fun hygiene ->
-      Format.printf "  %a@.%!" W.Generational_exp.pp
-        (W.Generational_exp.run ~seed hygiene ~rounds:40))
+      let r = W.Generational_exp.run ~seed hygiene ~rounds:40 in
+      Format.printf "  %a@.%!" W.Generational_exp.pp r;
+      json_int
+        (Printf.sprintf "gen_%s_garbage_promoted" (W.Generational_exp.hygiene_name hygiene))
+        r.W.Generational_exp.garbage_promoted_bytes)
     [ W.Generational_exp.Clean; W.Generational_exp.Careless ];
+  (* the ceiling: sweep the tenure threshold, measure promotion in a
+     post-warm-up window where everything promoted is garbage *)
+  Format.printf "@.";
+  List.iter
+    (fun hygiene ->
+      let c = W.Generational_exp.ceiling ~seed hygiene ~rounds:40 in
+      Format.printf "  %a@.%!" W.Generational_exp.pp_ceiling c;
+      List.iter
+        (fun (p : W.Generational_exp.ceiling_point) ->
+          json_int
+            (Printf.sprintf "gen_ceiling_%s_pa%d"
+               (W.Generational_exp.hygiene_name hygiene)
+               p.W.Generational_exp.cp_promote_after)
+            p.W.Generational_exp.cp_promoted_bytes)
+        c.W.Generational_exp.c_points)
+    [ W.Generational_exp.Clean; W.Generational_exp.Careless ];
+  (* the fix matrix: each R1/R2/R5 finding's suggested fix replayed
+     through a fresh generational collector, the measured promoted
+     garbage next to the promotion model's static prediction — the
+     analyzer's cross-validation claim for the second collector
+     architecture, so any drift is a failure here, like starvation *)
+  Format.printf
+    "@.  fix replay (promote_after %d)          | measured garbage     | predicted garbage@."
+    A.Scenarios.gen_promote_after;
+  Format.printf "  %s@." (String.make 86 '-');
+  let entries = A.Scenarios.generational_fixes () in
+  let ok = ref 0 in
+  List.iter
+    (fun (e : A.Scenarios.gen_fix_entry) ->
+      let c = e.A.Scenarios.g_cmp in
+      let pb = e.A.Scenarios.g_predicted_before in
+      let pa = e.A.Scenarios.g_predicted_after in
+      let agrees =
+        c.A.Replay.gcmp_reads_equal
+        && c.A.Replay.gcmp_garbage_drop > 0
+        && A.Promotion.agrees pb ~measured:c.A.Replay.gcmp_garbage_before
+        && A.Promotion.agrees pa ~measured:c.A.Replay.gcmp_garbage_after
+      in
+      if agrees then incr ok;
+      Format.printf "  %-24s %-12s | %7dB -> %7dB | %7dB -> %7dB  %s@.%!"
+        e.A.Scenarios.g_scenario
+        ("[" ^ e.A.Scenarios.g_rule ^ " fix]")
+        c.A.Replay.gcmp_garbage_before c.A.Replay.gcmp_garbage_after
+        pb.A.Promotion.pr_garbage_bytes pa.A.Promotion.pr_garbage_bytes
+        (if agrees then "agrees" else "DRIFT");
+      let key s = Printf.sprintf "gen_fix_%s_%s" e.A.Scenarios.g_scenario s in
+      json_int (key "garbage_before") c.A.Replay.gcmp_garbage_before;
+      json_int (key "garbage_after") c.A.Replay.gcmp_garbage_after;
+      json_int (key "predicted_before") pb.A.Promotion.pr_garbage_bytes;
+      json_int (key "predicted_after") pa.A.Promotion.pr_garbage_bytes;
+      json_bool (key "agrees") agrees)
+    entries;
+  json_int "gen_fix_targets" (List.length entries);
+  json_int "gen_fix_agree" !ok;
   Format.printf
     "@.paper: \"stray stack pointers can significantly lengthen the lifetime of some@.\
      objects, thus placing a ceiling on the effectiveness of generational@.\
-     collection\" — promoted garbage is garbage the minor collector never revisits.@."
+     collection\" — promoted garbage is garbage the minor collector never revisits.@.";
+  if !ok <> List.length entries || List.length entries < 4 then begin
+    Format.eprintf "generational: fix replay diverged from the promotion model@.";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Footnote 3: blacklisting overhead                                   *)
@@ -1024,7 +1085,7 @@ let () =
     let rec find = function
       | "--json-out" :: path :: _ -> path
       | _ :: rest -> find rest
-      | [] -> "BENCH_pr8.json"
+      | [] -> "BENCH_pr9.json"
     in
     find args
   in

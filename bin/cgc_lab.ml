@@ -283,7 +283,29 @@ let chaos_cmd =
 
 module A = Cgc_analysis
 
-let run_analyze scenario selfcheck starvation fix json verbose =
+(* One generational fix-replay entry as text (and its pass/fail), used
+   by the --fix --collector generational path and the @gen-fixes CI
+   alias: a target fails on a changed read stream, a fix that does not
+   lower promoted garbage, or promotion-model drift on either side. *)
+let gen_entry_ok (e : A.Scenarios.gen_fix_entry) =
+  let c = e.A.Scenarios.g_cmp in
+  c.A.Replay.gcmp_reads_equal
+  && c.A.Replay.gcmp_garbage_drop > 0
+  && A.Promotion.agrees e.A.Scenarios.g_predicted_before
+       ~measured:c.A.Replay.gcmp_garbage_before
+  && A.Promotion.agrees e.A.Scenarios.g_predicted_after ~measured:c.A.Replay.gcmp_garbage_after
+
+let json_gen_entry ppf (e : A.Scenarios.gen_fix_entry) =
+  let c = e.A.Scenarios.g_cmp in
+  Format.fprintf ppf
+    "{\"scenario\":%S,\"rule\":%S,\"garbage_before\":%d,\"garbage_after\":%d,\"garbage_drop\":%d,\"predicted_before\":%d,\"predicted_after\":%d,\"reads_equal\":%b,\"ok\":%b}"
+    e.A.Scenarios.g_scenario e.A.Scenarios.g_rule c.A.Replay.gcmp_garbage_before
+    c.A.Replay.gcmp_garbage_after c.A.Replay.gcmp_garbage_drop
+    e.A.Scenarios.g_predicted_before.A.Promotion.pr_garbage_bytes
+    e.A.Scenarios.g_predicted_after.A.Promotion.pr_garbage_bytes c.A.Replay.gcmp_reads_equal
+    (gen_entry_ok e)
+
+let run_analyze scenario selfcheck starvation fix collector json verbose =
   if selfcheck then begin
     let checks, outcomes = A.Scenarios.selfcheck () in
     if verbose then
@@ -313,17 +335,36 @@ let run_analyze scenario selfcheck starvation fix json verbose =
     in
     let outcomes = List.filter_map A.Scenarios.run names in
     let matrix = if starvation then Some (A.Scenarios.starvation_matrix ()) else None in
+    let gen =
+      if fix && collector = `Generational then
+        Some (A.Scenarios.generational_fixes ~outcomes ())
+      else None
+    in
     if json then begin
       Format.printf "{\"scenarios\":[%a]"
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
            (fun ppf (o : A.Scenarios.outcome) ->
-             A.Report.json ~name:o.A.Scenarios.o_name ~replay:fix ppf o.A.Scenarios.o_analysis))
+             A.Report.json
+               ~name:o.A.Scenarios.o_name
+               ~replay:(fix && collector = `Conservative)
+               ppf o.A.Scenarios.o_analysis))
         outcomes;
       (match matrix with
       | Some m -> Format.printf ",\"starvation_matrix\":%a" A.Report.json_matrix m
       | None -> ());
-      Format.printf "}@.%!"
+      (match gen with
+      | Some g ->
+          Format.printf ",\"gen_fixes\":[%a]"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+               json_gen_entry)
+            g
+      | None -> ());
+      Format.printf "}@.%!";
+      match gen with
+      | Some g when List.exists (fun e -> not (gen_entry_ok e)) g -> exit 1
+      | _ -> ()
     end
     else begin
       List.iter
@@ -331,7 +372,7 @@ let run_analyze scenario selfcheck starvation fix json verbose =
           Format.printf "=== %s ===@.%s@.%a@.%!" o.A.Scenarios.o_name o.A.Scenarios.o_note
             (A.Report.pp ~explain:(A.Scenarios.explain o) ~fixes:fix)
             o.A.Scenarios.o_analysis;
-          if fix then
+          if fix && collector = `Conservative then
             List.iter
               (fun (f : A.Analysis.fix) ->
                 match f.A.Analysis.suggestion with
@@ -345,7 +386,17 @@ let run_analyze scenario selfcheck starvation fix json verbose =
                 | None -> ())
               o.A.Scenarios.o_analysis.A.Analysis.fixes)
         outcomes;
-      match matrix with
+      (match gen with
+      | Some g ->
+          Format.printf
+            "== generational fix replay (promote_after %d; measured vs promotion model) ==@."
+            A.Scenarios.gen_promote_after;
+          List.iter (Format.printf "%a@.%!" A.Scenarios.pp_gen_fix_entry) g;
+          let ok = List.filter gen_entry_ok g in
+          Format.printf "%d/%d generational fix replays verified@.%!" (List.length ok)
+            (List.length g)
+      | None -> ());
+      (match matrix with
       | Some m ->
           Format.printf "== starvation matrix (static prediction vs real collector) ==@.";
           List.iter (Format.printf "%a@.%!" A.Scenarios.pp_matrix_entry) m;
@@ -357,7 +408,10 @@ let run_analyze scenario selfcheck starvation fix json verbose =
                  m)
           in
           Format.printf "%d/%d classifications agree@.%!" agree (List.length m)
-      | None -> ()
+      | None -> ());
+      match gen with
+      | Some g when List.exists (fun e -> not (gen_entry_ok e)) g -> exit 1
+      | _ -> ()
     end
   end
 
@@ -395,6 +449,18 @@ let analyze_cmd =
             "Print verified fix suggestions for each finding and replay every fix through a \
              fresh real collector to measure the retention drop.")
   in
+  let collector =
+    Arg.(
+      value
+      & opt (enum [ ("conservative", `Conservative); ("generational", `Generational) ]) `Conservative
+      & info [ "collector" ] ~docv:"BACKEND"
+          ~doc:
+            "Collector backend the $(b,--fix) replay runs against.  $(b,conservative) (the \
+             default) replays each fix through a full-collecting replica and reports the \
+             retention drop; $(b,generational) replays the R1/R2/R5 fix matrix through a fresh \
+             generational collector, reports the measured promoted-garbage drop next to the \
+             promotion model's prediction, and exits nonzero on drift.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
   in
@@ -406,7 +472,7 @@ let analyze_cmd =
           conservative-marker model, predict apparently-live sets at each GC point, lint for \
           paper-keyed space-leak patterns, suggest statically verified fixes, and cross-validate \
           against the collector.")
-    Term.(const run_analyze $ scenario $ selfcheck $ starvation $ fix $ json $ verbose)
+    Term.(const run_analyze $ scenario $ selfcheck $ starvation $ fix $ collector $ json $ verbose)
 
 let main_cmd =
   let doc =

@@ -40,5 +40,68 @@ val compare_fix : Ir.program -> Fixes.edit list -> comparison
 (** Replay the program and its edited form; the fix is dynamically
     verified when [cmp_reads_equal] and [cmp_retention_drop > 0]. *)
 
+(** {1 Generational replay}
+
+    The same trace re-enacted through a fresh {!Cgc.Generational}
+    wrapper: every [Gc_point] runs a minor collection, and the recorded
+    [Write_barrier] events are re-applied as [Generational.set_field]
+    stores so the dirty bits evolve exactly as the original mutator
+    drove them (plain [Heap_write]s stay unbarriered, as recorded). *)
+
+type gen_audit = {
+  ga_dirty : int list;  (** dirty pages entering this minor collection *)
+  ga_carried : int list;
+      (** the subset carried over from the previous minor's rescan *)
+  ga_barriered : int list;
+      (** old pages targeted by replayed barrier stores since the last
+          minor — [ga_dirty] must equal [ga_carried ∪ ga_barriered] *)
+}
+
+type gen_run = {
+  gr_run : run;
+  gr_stats : Cgc.Generational.stats;
+      (** counters over the trace window (before the closing major) *)
+  gr_old : (int * int) list;
+      (** (id, bytes) of trace objects on promoted pages at trace end *)
+  gr_old_bytes : int;
+  gr_major_reclaimed : int;
+      (** bytes of [gr_old] a closing major collection takes back *)
+  gr_audits : gen_audit list;  (** one per GC point, in trace order *)
+}
+
+val run_generational : ?promote_after:int -> Ir.program -> gen_run
+
+val promoted_garbage : Ir.program -> gen_run -> int
+(** Bytes of trace objects that ended on old pages despite being
+    precisely dead at the last GC point — the §3.1 promoted garbage
+    that no minor collection will ever reclaim.  Measured placement
+    ([gr_old]) crossed with the analyzer's ground-truth liveness; a
+    closing major alone undercounts, since garbage pinned by a stray
+    root survives even a full collection. *)
+
+val audit_exact : gen_audit -> bool
+(** The dirty-bit lifecycle invariant: the dirty set entering a minor
+    collection is exactly the union of the pages carried by the
+    previous rescan and the old pages barrier stores hit since (holds
+    whenever no emergency major intervened between the two minors). *)
+
+type gen_comparison = {
+  gcmp_before : gen_run;
+  gcmp_after : gen_run;
+  gcmp_retention_drop : int;
+  gcmp_garbage_before : int;  (** {!promoted_garbage} of the original *)
+  gcmp_garbage_after : int;  (** {!promoted_garbage} of the fixed form *)
+  gcmp_garbage_drop : int;
+  gcmp_reads_equal : bool;
+}
+
+val compare_fix_generational :
+  ?promote_after:int -> Ir.program -> Fixes.edit list -> gen_comparison
+(** Replay the program and its edited form through fresh generational
+    collectors; beyond {!compare_fix}'s retention/observation checks,
+    reports how much promoted garbage the fix prevents. *)
+
 val pp_run : Format.formatter -> run -> unit
 val pp_comparison : Format.formatter -> comparison -> unit
+val pp_gen_run : Format.formatter -> gen_run -> unit
+val pp_gen_comparison : Format.formatter -> gen_comparison -> unit

@@ -354,6 +354,75 @@ let explain outcome ppf id =
                     Cgc_vm.Addr.pp base)
       else Fmt.pf ppf "  e.g. object #%d (since reclaimed)@," id
 
+(* ------------------------------------------------------------------ *)
+(* The generational fix matrix: the four headline findings replayed
+   through a fresh Generational collector, original vs fixed trace,
+   with the promotion model's predicted garbage checked against the
+   measured figure on both sides.  This is the §3.1 experiment: an
+   uncleared link or stack slot does not just retain dead data, it
+   tenures it past the reach of every future minor collection. *)
+
+let gen_promote_after = 1
+
+type gen_fix_entry = {
+  g_scenario : string;
+  g_rule : string;
+  g_cmp : Replay.gen_comparison;
+  g_predicted_before : Promotion.prediction;
+  g_predicted_after : Promotion.prediction;
+}
+
+let gen_fix_targets =
+  [
+    ("grid-embedded", "R1");
+    ("queue-no-clear", "R2");
+    ("list-reverse-careless", "R5");
+    ("program-t-careless", "R5");
+  ]
+
+let generational_fix (o : outcome) rule =
+  match Analysis.fix_for o.o_analysis rule with
+  | None -> None
+  | Some f ->
+      let edits = match f.Analysis.suggestion with Some s -> s.Fixes.fx_edits | None -> [] in
+      let p = o.o_analysis.Analysis.program in
+      Some
+        {
+          g_scenario = o.o_name;
+          g_rule = rule;
+          g_cmp = Replay.compare_fix_generational ~promote_after:gen_promote_after p edits;
+          g_predicted_before = Promotion.predict ~promote_after:gen_promote_after p;
+          g_predicted_after =
+            Promotion.predict ~promote_after:gen_promote_after (Fixes.apply p edits);
+        }
+
+let generational_fixes ?outcomes () =
+  let outcomes = match outcomes with Some o -> o | None -> run_all () in
+  List.filter_map
+    (fun (scenario, rule) ->
+      match List.find_opt (fun o -> o.o_name = scenario) outcomes with
+      | None -> None
+      | Some o -> generational_fix o rule)
+    gen_fix_targets
+
+let pp_gen_fix_entry ppf e =
+  let c = e.g_cmp in
+  Fmt.pf ppf
+    "@[<v>%s %s:@,\
+    \  measured:  promoted garbage %6dB -> %6dB (drop %dB); retention drop %dB; reads %s@,\
+    \  predicted: promoted garbage %6dB -> %6dB (tolerance %dB/%dB): %s@]" e.g_scenario e.g_rule
+    c.Replay.gcmp_garbage_before c.Replay.gcmp_garbage_after c.Replay.gcmp_garbage_drop
+    c.Replay.gcmp_retention_drop
+    (if c.Replay.gcmp_reads_equal then "preserved" else "CHANGED")
+    e.g_predicted_before.Promotion.pr_garbage_bytes e.g_predicted_after.Promotion.pr_garbage_bytes
+    (Promotion.tolerance e.g_predicted_before)
+    (Promotion.tolerance e.g_predicted_after)
+    (if
+       Promotion.agrees e.g_predicted_before ~measured:c.Replay.gcmp_garbage_before
+       && Promotion.agrees e.g_predicted_after ~measured:c.Replay.gcmp_garbage_after
+     then "agrees"
+     else "DRIFT")
+
 (* The acceptance matrix: which rules must (and must not) fire on which
    scenario, plus soundness and measurement tolerance everywhere.
    Pinned empirically; a change that shifts one of these is a behaviour
@@ -404,6 +473,35 @@ let selfcheck () =
   fix_check "queue-no-clear" "R2";
   fix_check "list-reverse-careless" "R5";
   fix_check "program-t-careless" "R5";
+  (* The generational fix matrix: the same findings replayed through
+     the generational backend.  Each fix must still preserve the read
+     stream, must measurably lower the §3.1 promoted garbage, and the
+     promotion model's prediction must agree with the measured figure
+     on both sides of the fix. *)
+  let gen = generational_fixes ~outcomes () in
+  check "gen fix matrix covers all four targets" (List.length gen = List.length gen_fix_targets);
+  List.iter
+    (fun e ->
+      let label = Fmt.str "gen %s %s" e.g_scenario e.g_rule in
+      let c = e.g_cmp in
+      check (label ^ ": replay preserves reads") c.Replay.gcmp_reads_equal;
+      check (label ^ ": promotes garbage before fix") (c.Replay.gcmp_garbage_before > 0);
+      check (label ^ ": fix lowers promoted garbage") (c.Replay.gcmp_garbage_drop > 0);
+      check
+        (label ^ ": model predicts the drop")
+        (e.g_predicted_before.Promotion.pr_garbage_bytes
+        > e.g_predicted_after.Promotion.pr_garbage_bytes);
+      check
+        (label ^ ": model within tolerance (before fix)")
+        (Promotion.agrees e.g_predicted_before ~measured:c.Replay.gcmp_garbage_before);
+      check
+        (label ^ ": model within tolerance (after fix)")
+        (Promotion.agrees e.g_predicted_after ~measured:c.Replay.gcmp_garbage_after);
+      check
+        (label ^ ": dirty-bit audits exact")
+        (List.for_all Replay.audit_exact c.Replay.gcmp_before.Replay.gr_audits
+        && List.for_all Replay.audit_exact c.Replay.gcmp_after.Replay.gr_audits))
+    gen;
   (* The starvation matrix: static classification must match the real
      collector's behaviour exactly, scenario by scenario. *)
   let matrix = starvation_matrix () in

@@ -44,9 +44,42 @@ val matrix_names : string list
 val starvation_matrix : unit -> matrix_entry list
 val pp_matrix_entry : Format.formatter -> matrix_entry -> unit
 
+(** {1 The generational fix matrix}
+
+    The four headline findings (R1/R2/R5) replayed original-vs-fixed
+    through a fresh {!Cgc.Generational} collector, with the
+    {!Promotion} model's predicted garbage cross-checked against the
+    measured {!Replay.promoted_garbage} on both sides of each fix. *)
+
+val gen_promote_after : int
+(** Promotion threshold used across the matrix (and by the bench /
+    [cgc_lab] front-ends, so their figures line up with selfcheck). *)
+
+type gen_fix_entry = {
+  g_scenario : string;
+  g_rule : string;
+  g_cmp : Replay.gen_comparison;
+  g_predicted_before : Promotion.prediction;
+  g_predicted_after : Promotion.prediction;
+}
+
+val gen_fix_targets : (string * string) list
+(** (scenario, rule) pairs: the same four targets the conservative
+    fix replay gates on. *)
+
+val generational_fixes : ?outcomes:outcome list -> unit -> gen_fix_entry list
+(** Run (or reuse) the scenarios and replay each target's suggested
+    fix through the generational backend.  Targets whose scenario or
+    suggestion is missing are dropped — {!selfcheck} asserts all four
+    are present. *)
+
+val pp_gen_fix_entry : Format.formatter -> gen_fix_entry -> unit
+
 val selfcheck : unit -> (string * bool) list * outcome list
 (** The pinned acceptance matrix: per-scenario soundness and
     measurement tolerance, which lint rules must and must not fire
     where, fix suggestions verified both statically and by collector
-    replay, and exact static-vs-measured agreement across the
+    replay (conservative {e and} generational, the latter with the
+    promotion model's predictions checked against measured promoted
+    garbage), and exact static-vs-measured agreement across the
     starvation matrix (including at least one memory-decay OOM). *)

@@ -18,6 +18,9 @@ type result = {
   garbage_promoted_bytes : int;
 }
 
+(* a small long-lived working set that legitimately deserves promotion *)
+let live_cells = 200
+
 let machine_config_of = function
   | Clean ->
       {
@@ -35,8 +38,6 @@ let run ?(seed = 7) ?(batch = 400) hygiene ~rounds =
   Cgc.Gc.set_auto_collect gc false;
   let gen = Generational.create ~promote_after:2 gc in
   let m = h.Harness.machine in
-  (* a small long-lived working set that legitimately deserves promotion *)
-  let live_cells = 200 in
   let live = Builder.list_of m (List.init live_cells Fun.id) in
   Harness.set_root h 0 (Addr.to_int live);
   for _ = 1 to rounds do
@@ -62,9 +63,80 @@ let run ?(seed = 7) ?(batch = 400) hygiene ~rounds =
     garbage_promoted_bytes = max 0 (s.Generational.promoted_bytes - live_set_bytes);
   }
 
+(* --- the promotion ceiling ---------------------------------------- *)
+
+type ceiling_point = {
+  cp_promote_after : int;
+  cp_promoted_bytes : int;
+  cp_promoted_pages : int;
+  cp_dirty_rescans : int;
+}
+
+type ceiling = {
+  c_hygiene : hygiene;
+  c_rounds : int;
+  c_batch : int;
+  c_points : ceiling_point list;
+}
+
+(* Sweep the tenure threshold and measure promotion inside a clean
+   window: warm up until the legitimate live set has tenured, zero the
+   counters ([Generational.reset_stats]), then run the measured rounds.
+   Everything promoted inside the window is promoted garbage — the live
+   set is already old when the window opens.  Raising the threshold is
+   the standard defense against premature tenuring; section 3.1's point
+   is that stray stack words defeat it: a careless machine keeps dead
+   batches apparently live across arbitrarily many consecutive minor
+   collections, so the in-window figure never reaches the hygienic
+   machine's zero. *)
+let ceiling ?(seed = 7) ?(batch = 400) ?(thresholds = [ 1; 2; 4; 8 ]) hygiene ~rounds =
+  let point promote_after =
+    let h = Harness.create ~seed ~machine_config:(machine_config_of hygiene) ~heap_kb:8192 () in
+    let gc = h.Harness.gc in
+    Cgc.Gc.set_auto_collect gc false;
+    let gen = Generational.create ~promote_after gc in
+    let m = h.Harness.machine in
+    let live = Builder.list_of m (List.init live_cells Fun.id) in
+    Harness.set_root h 0 (Addr.to_int live);
+    let round () =
+      Machine.call m ~slots:4 (fun frame ->
+          let temp = Builder.list_of m (List.init batch Fun.id) in
+          Machine.set_local frame 0 (Addr.to_int temp));
+      (match hygiene with
+      | Clean -> Machine.clear_registers m
+      | Careless -> ());
+      Generational.minor gen
+    in
+    for _ = 1 to promote_after + 1 do
+      round ()
+    done;
+    Generational.reset_stats gen;
+    for _ = 1 to rounds do
+      round ()
+    done;
+    let s = Generational.stats gen in
+    {
+      cp_promote_after = promote_after;
+      cp_promoted_bytes = s.Generational.promoted_bytes;
+      cp_promoted_pages = s.Generational.promoted_pages;
+      cp_dirty_rescans = s.Generational.dirty_pages_scanned;
+    }
+  in
+  { c_hygiene = hygiene; c_rounds = rounds; c_batch = batch; c_points = List.map point thresholds }
+
 let hygiene_name = function
   | Clean -> "clean"
   | Careless -> "careless"
+
+let pp_ceiling ppf c =
+  Format.fprintf ppf "@[<v>%-8s ceiling (%d rounds x %d cells, post-warm-up window):"
+    (hygiene_name c.c_hygiene) c.c_rounds c.c_batch;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@,  promote_after %2d: %6dB garbage promoted (%d pages, %d dirty rescans)"
+        p.cp_promote_after p.cp_promoted_bytes p.cp_promoted_pages p.cp_dirty_rescans)
+    c.c_points;
+  Format.fprintf ppf "@]"
 
 let pp ppf r =
   Format.fprintf ppf

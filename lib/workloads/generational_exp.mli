@@ -30,5 +30,36 @@ type result = {
 
 val run : ?seed:int -> ?batch:int -> hygiene -> rounds:int -> result
 
+(** {1 The promotion ceiling}
+
+    The tenure threshold swept, with promotion measured in a clean
+    window: each point warms up until the legitimate live set has
+    tenured, zeroes the counters ({!Cgc.Generational.reset_stats}), and
+    then runs the measured rounds — so every byte promoted inside the
+    window is promoted garbage.  Raising [promote_after] is the
+    standard defense against premature tenuring; the careless machine
+    defeats it (stray stack and register words keep dead batches
+    apparently live across arbitrarily many consecutive minors), which
+    is precisely the paper's ceiling on generational effectiveness. *)
+
+type ceiling_point = {
+  cp_promote_after : int;
+  cp_promoted_bytes : int;  (** in-window; all of it garbage *)
+  cp_promoted_pages : int;
+  cp_dirty_rescans : int;
+}
+
+type ceiling = {
+  c_hygiene : hygiene;
+  c_rounds : int;
+  c_batch : int;
+  c_points : ceiling_point list;
+}
+
+val ceiling :
+  ?seed:int -> ?batch:int -> ?thresholds:int list -> hygiene -> rounds:int -> ceiling
+(** Default [thresholds] are [[1; 2; 4; 8]]. *)
+
 val hygiene_name : hygiene -> string
 val pp : Format.formatter -> result -> unit
+val pp_ceiling : Format.formatter -> ceiling -> unit

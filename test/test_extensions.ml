@@ -387,6 +387,9 @@ let test_gen_missing_barrier_loses_object () =
   let old_obj = Generational.allocate gen 8 in
   set_slot globals 0 (Addr.to_int old_obj);
   Generational.minor gen;
+  (* promotion leaves the page dirty; a settling minor clears the bit
+     so the unbarriered store below is genuinely uncovered *)
+  Generational.minor gen;
   let young = Generational.allocate gen 8 in
   Gc.set_field gc old_obj 0 (Addr.to_int young);
   Generational.minor gen;
@@ -411,12 +414,108 @@ let test_gen_rejects_lazy_config () =
        false
      with Invalid_argument _ -> true)
 
+(* The major lifecycle: a full collection empties the whole dirty set
+   (not just the bits of pages that became free) and resets the
+   generation clock, and the barrier/rescan machinery still works from
+   scratch afterwards. *)
+let test_gen_major_clears_dirty () =
+  let globals, gc, gen = make_gen ~promote_after:1 () in
+  let a = Generational.allocate gen 8 in
+  set_slot globals 0 (Addr.to_int a);
+  Generational.minor gen;
+  check bool "holder promoted" true (Generational.is_old gen a);
+  let y = Generational.allocate gen 8 in
+  Generational.set_field gen a 0 (Addr.to_int y);
+  check bool "barrier store dirtied the old page" true (Generational.dirty_pages gen <> []);
+  Generational.major gen;
+  check (Alcotest.list int) "dirty set empty after major" [] (Generational.dirty_pages gen);
+  check (Alcotest.list int) "no carryovers after major" [] (Generational.carried_pages gen);
+  check bool "generation clock reset (survivor young again)" false (Generational.is_old gen a);
+  (* the survivor re-earns tenure, and a store-then-minor still rescans *)
+  Generational.minor gen;
+  check bool "re-promoted" true (Generational.is_old gen a);
+  (* promotion installs dirty bits on the re-promoted pages; settle
+     them so the +1 below counts the barrier store alone *)
+  Generational.minor gen;
+  let scanned_before = (Generational.stats gen).Generational.dirty_pages_scanned in
+  let z = Generational.allocate gen 8 in
+  Generational.set_field gen a 0 (Addr.to_int z);
+  check bool "store re-dirties" true (Generational.dirty_pages gen <> []);
+  Generational.minor gen;
+  check int "minor rescanned the dirty page" (scanned_before + 1)
+    (Generational.stats gen).Generational.dirty_pages_scanned;
+  check bool "young target kept through the rescan" true (Gc.is_allocated gc z)
+
+(* The sticky young-reference hazard: a dirty old page whose rescan
+   finds a still-young target must keep its dirty bit (the store
+   happened once; the mutator owes no second barrier), or the next
+   minor frees a live object. *)
+let test_gen_carry_keeps_sticky_young_reference () =
+  let globals, gc, gen = make_gen ~promote_after:2 () in
+  let holder = Generational.allocate gen 8 in
+  set_slot globals 0 (Addr.to_int holder);
+  Generational.minor gen;
+  Generational.minor gen;
+  check bool "holder promoted" true (Generational.is_old gen holder);
+  let young = Generational.allocate gen 8 in
+  Generational.set_field gen holder 0 (Addr.to_int young);
+  (* reachable ONLY through the old page, across several minors *)
+  Generational.minor gen;
+  check bool "alive after first rescan" true (Gc.is_allocated gc young);
+  check bool "dirty bit carried (target still young)" true
+    (Generational.carried_pages gen <> []);
+  Generational.minor gen;
+  check bool "alive after second minor (the regression)" true (Gc.is_allocated gc young);
+  check bool "target promoted by now" true (Generational.is_old gen young);
+  (* once the target is old the carryover lapses *)
+  Generational.minor gen;
+  check (Alcotest.list int) "carry dropped after target tenures" []
+    (Generational.carried_pages gen)
+
+(* A post-major retry that also fails must surface BOTH attempts: the
+   merged diagnosis carries the rungs climbed before the rescuing major
+   as well as the retry's own. *)
+let test_gen_oom_merges_both_diagnoses () =
+  let globals, gc, gen = make_gen ~promote_after:1 () in
+  (* fill the 1MB heap with a rooted chain until nothing fits *)
+  let prev = ref 0 in
+  (try
+     for _ = 1 to 10_000 do
+       let o = Generational.allocate gen 2048 in
+       Gc.set_field gc o 0 !prev;
+       prev := Addr.to_int o;
+       set_slot globals 0 !prev
+     done;
+     Alcotest.fail "expected the chain to outgrow the heap"
+   with Gc.Out_of_memory d ->
+     (* every failed climb records a Grow rung; the merged diagnosis
+        must carry one per attempt (the old code kept only the retry's) *)
+     let grows = List.filter (fun r -> r = Gc.Grow) d.Gc.rungs in
+     check bool "rungs from both attempts (two ladder climbs)" true (List.length grows >= 2))
+
 let test_gen_experiment_ordering () =
   let clean = W_gen.run W_gen.Clean ~rounds:15 in
   let careless = W_gen.run W_gen.Careless ~rounds:15 in
   check int "clean promotes no garbage" 0 clean.W_gen.garbage_promoted_bytes;
   check bool "careless promotes garbage" true (careless.W_gen.garbage_promoted_bytes > 4096);
   check int "same minors" clean.W_gen.minor_collections careless.W_gen.minor_collections
+
+(* The §3.1 ceiling: raising the tenure threshold cannot rescue a
+   careless machine — every measured window still promotes garbage —
+   while a hygienic machine promotes nothing at any threshold. *)
+let test_gen_promotion_ceiling () =
+  let thresholds = [ 1; 4 ] in
+  let clean = W_gen.ceiling W_gen.Clean ~thresholds ~rounds:10 in
+  let careless = W_gen.ceiling W_gen.Careless ~thresholds ~rounds:10 in
+  check bool "clean window promotes nothing at any threshold" true
+    (List.for_all (fun p -> p.W_gen.cp_promoted_bytes = 0) clean.W_gen.c_points);
+  check bool "careless window promotes garbage at every threshold" true
+    (List.for_all (fun p -> p.W_gen.cp_promoted_bytes > 0) careless.W_gen.c_points);
+  match careless.W_gen.c_points with
+  | [ p1; p4 ] ->
+      check bool "higher tenure lowers but does not erase the garbage" true
+        (p4.W_gen.cp_promoted_bytes < p1.W_gen.cp_promoted_bytes)
+  | _ -> Alcotest.fail "expected two ceiling points"
 
 (* --- debug / find-leak mode --- *)
 
@@ -597,6 +696,11 @@ let () =
           Alcotest.test_case "missing barrier" `Quick test_gen_missing_barrier_loses_object;
           Alcotest.test_case "fresh stays young" `Quick test_gen_fresh_allocation_stays_young;
           Alcotest.test_case "rejects lazy config" `Quick test_gen_rejects_lazy_config;
+          Alcotest.test_case "major clears dirty set" `Quick test_gen_major_clears_dirty;
+          Alcotest.test_case "carry keeps sticky young reference" `Quick
+            test_gen_carry_keeps_sticky_young_reference;
+          Alcotest.test_case "OOM merges both diagnoses" `Quick test_gen_oom_merges_both_diagnoses;
           Alcotest.test_case "hygiene experiment" `Quick test_gen_experiment_ordering;
+          Alcotest.test_case "promotion ceiling" `Quick test_gen_promotion_ceiling;
         ] );
     ]

@@ -956,6 +956,50 @@ let test_stats_merge_after_discard () =
   check bool "merge after discard contributes nothing" true
     (trace_tuple into = (0, 0, 0, 0, 0, 0, 0))
 
+(* --- generational promoted-bytes accounting --- *)
+
+module Generational = Cgc.Generational
+
+(* promoted_bytes charges live bytes at the moment of promotion, for
+   both page shapes: a partially-dead small page charges only its
+   surviving slots, never its capacity. *)
+let test_promoted_bytes_small_partial_page () =
+  let _, globals, gc = make_env () in
+  let gen = Generational.create ~promote_after:1 gc in
+  let a = Generational.allocate gen 256 in
+  let b = Generational.allocate gen 256 in
+  let c = Generational.allocate gen 256 in
+  let d = Generational.allocate gen 256 in
+  set_slot globals 0 (Addr.to_int a);
+  set_slot globals 1 (Addr.to_int b);
+  ignore c;
+  ignore d;
+  Generational.minor gen;
+  let s = Generational.stats gen in
+  check int "one page promoted" 1 s.Generational.promoted_pages;
+  check int "promoted bytes = surviving slots only" 512 s.Generational.promoted_bytes;
+  check bool "survivor is old" true (Generational.is_old gen a)
+
+let test_promoted_bytes_large_object () =
+  let _, globals, gc = make_env () in
+  let gen = Generational.create ~promote_after:1 gc in
+  let a = Generational.allocate gen 8192 in
+  set_slot globals 0 (Addr.to_int a);
+  Generational.minor gen;
+  let s = Generational.stats gen in
+  check int "both pages promoted" 2 s.Generational.promoted_pages;
+  check int "promoted bytes = the live span" 8192 s.Generational.promoted_bytes;
+  check bool "large object is old" true (Generational.is_old gen a);
+  (* a dead large object is swept before it can age: nothing promotes,
+     nothing is charged *)
+  let _, _, gc2 = make_env () in
+  let gen2 = Generational.create ~promote_after:1 gc2 in
+  ignore (Generational.allocate gen2 8192);
+  Generational.minor gen2;
+  let s2 = Generational.stats gen2 in
+  check int "dead large: no pages promoted" 0 s2.Generational.promoted_pages;
+  check int "dead large: no bytes charged" 0 s2.Generational.promoted_bytes
+
 let () =
   Alcotest.run "gc"
     [
@@ -1073,5 +1117,12 @@ let () =
             test_stats_merge_marking_double_merge;
           Alcotest.test_case "merge_marking: merge after discard" `Quick
             test_stats_merge_after_discard;
+        ] );
+      ( "generational-accounting",
+        [
+          Alcotest.test_case "small partial page charges live bytes" `Quick
+            test_promoted_bytes_small_partial_page;
+          Alcotest.test_case "large object charges live span only" `Quick
+            test_promoted_bytes_large_object;
         ] );
     ]

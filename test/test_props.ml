@@ -489,7 +489,17 @@ let build_ir ops : Ir.program =
           | rooted ->
               let id, _, bytes = pick rooted a in
               let field = b mod max 1 (bytes / 4) in
-              if c mod 2 = 0 then emit (Ir.Heap_write { obj = id; field; value = value_of c })
+              if c mod 2 = 0 then begin
+                let v = value_of c in
+                emit (Ir.Heap_write { obj = id; field; value = v });
+                (* the recorder sees a barrier event exactly when the
+                   machine stores a resolvable pointer (machine.ml's
+                   write_field), so the synthetic trace card-marks
+                   tagged stores the same way *)
+                match v.Ir.obj with
+                | Some _ -> emit (Ir.Write_barrier { obj = id; field })
+                | None -> ()
+              end
               else emit (Ir.Heap_read { obj = id; field }))
       | 7 ->
           if !depth < 4 then begin
@@ -607,6 +617,33 @@ let prop_fixes_sound =
               static_ok && c.An.Replay.cmp_reads_equal)
         t.An.Analysis.fixes)
 
+(* --- generational replay dominates conservative retention --- *)
+
+(* A minor collection treats every old page as live and traces young
+   data from the same conservative roots, so on any recorded trace the
+   generational collector can only over-retain relative to full
+   conservative collections — never free something the conservative
+   replay kept.  And the dirty-bit lifecycle is exact: every dirty page
+   entering a minor is either carried by the collector (rescan kept it,
+   or promotion installed it) or the target of a recorded Write_barrier
+   store into an old page — nothing else may set a bit. *)
+let prop_generational_dominates =
+  QCheck.Test.make ~count:60
+    ~name:"generational retention >= conservative; dirty bits exactly carried + barriered"
+    ir_ops_arb
+    (fun ops ->
+      let p = build_ir ops in
+      let c = An.Replay.run p in
+      List.for_all
+        (fun promote_after ->
+          let g = An.Replay.run_generational ~promote_after p in
+          let gr = g.An.Replay.gr_run in
+          gr.An.Replay.rp_gc_points = c.An.Replay.rp_gc_points
+          && List.for_all2 (fun gb cb -> gb >= cb) gr.An.Replay.rp_retained c.An.Replay.rp_retained
+          && gr.An.Replay.rp_total_retained >= c.An.Replay.rp_total_retained
+          && List.for_all An.Replay.audit_exact g.An.Replay.gr_audits)
+        [ 1; 2 ])
+
 (* --- a single read fault loses at most one object's cone --- *)
 
 (* The marker downgrades a faulted word to "not a pointer", so one
@@ -682,6 +719,7 @@ let suite =
       prop_analyzer_sound;
       prop_clearing_monotone;
       prop_fixes_sound;
+      prop_generational_dominates;
       prop_read_fault_cone;
     ]
 

@@ -463,10 +463,13 @@ let test_generational_dirty_only_after_store () =
   let g = Cgc.Generational.create gc in
   let a = Cgc.Generational.allocate g 16 in
   set_slot globals 0 (Addr.to_int a);
-  (* two minor collections promote the object's page *)
+  (* two minor collections promote the object's page; promotion leaves
+     the page dirty (its pre-promotion stores were never barriered), so
+     a third minor rescans and settles it *)
   Cgc.Generational.minor g;
   Cgc.Generational.minor g;
   check bool "object promoted" true (Cgc.Generational.is_old g a);
+  Cgc.Generational.minor g;
   check (Alcotest.list int) "no dirty pages before any store" []
     (Cgc.Generational.dirty_pages g);
   (* the regression: a faulted store must NOT mark the page dirty *)
