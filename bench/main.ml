@@ -16,9 +16,10 @@
           --seeds N       range over N seeds in table 1
           --smoke         heavily down-scaled runs (CI)
           --json          also write a JSON summary
-          --json-out F    JSON destination (default BENCH_pr9.json)
+          --json-out F    JSON destination (default BENCH_pr10.json)
           --collector C   restrict the resilience matrix to one backend
-                          (conservative | generational | explicit | all)
+                          (conservative | generational | explicit |
+                          precise | all)
           --jobs N        marker-domain sweep ceiling for the mark
                           section (default 4: measures jobs 1, 2, 4) and
                           the tracer width for the resilience matrix *)
@@ -54,9 +55,10 @@ let json_write path =
   close_out oc;
   Format.printf "@.wrote %s@." path
 
-(* Differential guard: the parallel-marking work must not move Table 1.
-   When a previous summary (BENCH_pr8.json) sits next to the output,
-   every retention figure present in both must be bit-identical. *)
+(* Differential guard: the precise-collector work must not move
+   Table 1.  When a previous summary (BENCH_pr9.json) sits next to the
+   output, every retention figure present in both must be
+   bit-identical. *)
 let read_json_fields path =
   let ic = open_in path in
   let fields = ref [] in
@@ -83,7 +85,7 @@ let read_json_fields path =
   List.rev !fields
 
 let check_table1_parity json_out =
-  let reference = Filename.concat (Filename.dirname json_out) "BENCH_pr8.json" in
+  let reference = Filename.concat (Filename.dirname json_out) "BENCH_pr9.json" in
   if Sys.file_exists reference then begin
     let is_t1 (k, _) = String.length k >= 7 && String.sub k 0 7 = "table1_" in
     let prev = List.filter is_t1 (read_json_fields reference) in
@@ -850,6 +852,17 @@ let resilience ~smoke ?collectors ?(mark_jobs = 1) () =
   json_int "resilience_decay_retries" (sum_s (fun s -> s.Cgc.Stats.decay_retries));
   json_int "resilience_mutator_read_faults" (sum (fun o -> o.W.Chaos.mutator_read_faults));
   json_int "resilience_mutator_write_faults" (sum (fun o -> o.W.Chaos.mutator_write_faults));
+  json_int "resilience_precise_collections" (sum_s (fun s -> s.Cgc.Stats.precise_collections));
+  json_int "resilience_precise_mark_aborts" (sum_s (fun s -> s.Cgc.Stats.precise_mark_aborts));
+  json_int "resilience_precise_mark_retries"
+    (sum_s (fun s -> s.Cgc.Stats.precise_mark_retries));
+  json_int "resilience_precise_stale_roots" (sum_s (fun s -> s.Cgc.Stats.precise_stale_roots));
+  (let retention = List.filter_map (fun o -> o.W.Chaos.retention) outcomes in
+   json_int "resilience_precise_retention_cells" (List.length retention);
+   json_bool "resilience_precise_retention_subset"
+     (List.for_all (fun (p, c) -> p <= c) retention);
+   json_int "resilience_precise_retention_gap"
+     (List.fold_left (fun acc (p, c) -> acc + (c - p)) 0 retention));
   List.iter
     (fun c ->
       let name = W.Chaos.collector_name c in
@@ -1085,7 +1098,7 @@ let () =
     let rec find = function
       | "--json-out" :: path :: _ -> path
       | _ :: rest -> find rest
-      | [] -> "BENCH_pr9.json"
+      | [] -> "BENCH_pr10.json"
     in
     find args
   in

@@ -18,6 +18,12 @@ type t = {
          refund their slots *)
   mutable allocated_since_gc : int;
   mutable auto_collect : bool;
+  mutable collect_hook : (unit -> unit) option;
+      (* when set, the budget check in [maybe_collect] and the ladder's
+         Collect rung invoke this instead of the conservative [collect]:
+         a wrapper imposing its own liveness discipline (the precise
+         view) substitutes its exact collection without the wrapped
+         heap ever being marked conservatively behind its back *)
   mutable oom_hook : (int -> bool) option;
   mutable last_mark_outcome : Mark.Parallel.outcome option;
       (* how the most recent mark phase ran when [Config.mark_jobs > 1]:
@@ -126,6 +132,7 @@ let create ?(config = Config.default) mem ~base ~max_bytes () =
       decayed_pages = Bitset.create (Heap.n_pages heap);
       allocated_since_gc = 0;
       auto_collect = true;
+      collect_hook = None;
       oom_hook = None;
       last_mark_outcome = None;
       domain_faults = [];
@@ -142,6 +149,8 @@ let blacklisted_pages t = Blacklist.count t.blacklist
 let live_bytes t = t.stats.Stats.live_bytes
 let auto_collect t = t.auto_collect
 let set_auto_collect t b = t.auto_collect <- b
+let collect_hook t = t.collect_hook
+let set_collect_hook t h = t.collect_hook <- h
 let set_oom_hook t f = t.oom_hook <- f
 let oom_hook t = t.oom_hook
 
@@ -219,11 +228,21 @@ let startup_collect_if_configured t =
   if t.config.Config.full_gc_at_startup && t.stats.Stats.collections = 0 then collect t
 
 let maybe_collect t =
-  if t.auto_collect then begin
-    startup_collect_if_configured t;
-    let budget = Heap.committed_bytes t.heap / t.config.Config.space_divisor in
-    if t.allocated_since_gc >= budget then collect t
-  end
+  match t.collect_hook with
+  | Some hook ->
+      (* A wrapper owns the liveness discipline: the same allocation
+         budget triggers collection, but through the wrapper's exact
+         collect.  The hook resets the budget via
+         [Internal.note_collected] only when its collection completes,
+         so an aborted exact mark retries at the next allocation. *)
+      let budget = Heap.committed_bytes t.heap / t.config.Config.space_divisor in
+      if t.allocated_since_gc >= budget then hook ()
+  | None ->
+      if t.auto_collect then begin
+        startup_collect_if_configured t;
+        let budget = Heap.committed_bytes t.heap / t.config.Config.space_divisor in
+        if t.allocated_since_gc >= budget then collect t
+      end
 
 (* --- page acquisition --- *)
 
@@ -359,11 +378,11 @@ let run_ladder t ~request_bytes ~request_pages ~small ~pointer_free ~attempt =
   let steps =
     [
       ( (fun () ->
-          t.auto_collect
+          (t.auto_collect || Option.is_some t.collect_hook)
           && begin
                rung Collect;
                stats.Stats.ladder_collects <- stats.Stats.ladder_collects + 1;
-               collect t;
+               (match t.collect_hook with Some f -> f () | None -> collect t);
                true
              end),
         Tier_strict );
@@ -792,6 +811,7 @@ module Internal = struct
   let marker t = t.marker
   let run_sweep t = Sweep.run ~quarantined:(quarantined t) t.heap t.free_lists t.finalize t.stats
   let run_mark t = Mark.run t.marker t.roots ~mem:t.mem
+  let note_collected t = t.allocated_since_gc <- 0
   let run_mark_reference t = Mark.Reference.run t.marker t.roots ~mem:t.mem
 
   let run_mark_parallel ?(faults = []) t ~jobs =

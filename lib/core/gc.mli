@@ -119,6 +119,17 @@ val set_auto_collect : t -> bool -> unit
 (** When off, collections happen only on explicit {!collect} calls
     (useful to tests and single-shot experiments). *)
 
+val collect_hook : t -> (unit -> unit) option
+val set_collect_hook : t -> (unit -> unit) option -> unit
+(** When set, the allocation-budget check and the ladder's Collect rung
+    invoke this closure instead of the conservative {!collect}.  Meant
+    for wrappers that impose their own liveness discipline (the
+    {!Precise} view): the wrapped heap is never marked conservatively
+    behind the wrapper's back, yet allocation pressure still triggers
+    collection.  The hook must leave the heap coherent even when its
+    collection aborts, and should call {!Internal.note_collected} after
+    a completed cycle to reset the allocation budget. *)
+
 (** {1 Collection} *)
 
 val collect : t -> unit
@@ -214,6 +225,13 @@ module Internal : sig
 
   val run_mark : t -> unit
   (** Mark phase only (no sweep): leaves mark bits set for inspection. *)
+
+  val note_collected : t -> unit
+  (** Reset the allocation budget that drives [maybe_collect], exactly
+      as the conservative [collect] does on completion.  For
+      {!set_collect_hook} wrappers: call after a {e completed} exact
+      cycle (never after an aborted one, so the retry happens at the
+      next allocation). *)
 
   val run_mark_reference : t -> unit
   (** Like {!run_mark} but through {!Mark.Reference} — the

@@ -6,31 +6,82 @@
     ({!Type_desc.t}), so "there are no false references in our sense"
     (paper section 4).  Differences in retention between this collector
     and the conservative one are, by construction, entirely due to
-    conservativism. *)
+    conservativism.
+
+    The exact mark phase is fault-coherent: an injected access fault on
+    an exact pointer slot retries a bounded transient path, then aborts
+    the phase, restores the pre-collect mark state and raises
+    {!Mark_aborted} — never an escaped [Mem] exception over a
+    half-marked heap.  An aborted collect frees nothing; the next
+    completed collect reclaims everything the aborted one would have. *)
 
 open Cgc_vm
+
+exception
+  Mark_aborted of {
+    addr : Addr.t;  (** the address whose access kept faulting *)
+    op : [ `Read | `Write ];
+    retries : int;  (** transient re-reads burned before giving up *)
+  }
+(** An exact mark phase was abandoned after an unrecoverable access
+    fault.  The heap is coherent when this escapes {!collect}: mark
+    bits are restored to their pre-collect state and no sweep ran
+    ([Stats.precise_mark_aborts] counts these). *)
 
 type t
 
 val create : Gc.t -> t
-(** Wrap a conservative collector's machinery.  The wrapped [Gc.t]
-    should have auto-collection turned off and should not be collected
-    conservatively while the precise view is in use (the two marking
-    disciplines would disagree about liveness). *)
+(** Wrap a conservative collector's machinery and take over its
+    liveness discipline.  [create] turns the wrapped collector's
+    auto-collection off and installs a {!Gc.set_collect_hook} so the
+    allocation budget and the escalation ladder's Collect rung call
+    back into {!collect} — the wrapped heap is never marked
+    conservatively behind the precise view's back.  (A hook-triggered
+    collect that aborts under faults is absorbed: the ladder proceeds
+    to its next rung and the collect is retried at the next trigger.)
+    [create] also registers the exact roots as a conservative register
+    file, so an explicitly requested conservative mark sees a superset
+    of the precise roots by construction. *)
 
 val gc : t -> Gc.t
 
 val allocate : ?finalizer:string -> t -> Type_desc.t -> Addr.t
-(** Allocate an object of the described type and remember its layout. *)
+(** Allocate an object of the described type and remember its layout.
+    Atomic descriptors allocate [pointer_free] so neither discipline
+    ever scans them. *)
 
 val add_root_provider : t -> (unit -> Addr.t list) -> unit
-(** Register a provider of exact root object addresses (bases). *)
+(** Register a provider of exact root object addresses (bases).
+    Providers returning freed or decayed addresses are counted in
+    [Stats.precise_stale_roots] and reported by {!last_stale_roots},
+    never silently swallowed. *)
 
 val collect : t -> unit
 (** Exact mark from the registered roots, then sweep (shared sweeper;
-    finalization behaves identically). *)
+    finalization behaves identically).  Swept objects' descriptors are
+    evicted from the layout table.  Uses a preallocated mark stack
+    sized from [Config.mark_stack_limit] with the bounded-stack
+    overflow discipline (overflow rescans marked objects with
+    descriptors to a fixpoint).
+
+    @raise Mark_aborted when an access fault exhausts the transient
+    retry budget; mark state is restored and nothing is swept. *)
 
 val descriptor : t -> Addr.t -> Type_desc.t option
+
+val descriptor_count : t -> int
+(** Number of layout-table entries — after a collect, exactly the
+    allocated objects with known layouts (swept entries are evicted). *)
+
+val iter_descriptors : t -> (Addr.t -> Type_desc.t -> unit) -> unit
+
+val roots_now : t -> Addr.t list
+(** The current exact root set, concatenated across providers (a
+    provider that faults contributes nothing). *)
+
+val last_stale_roots : t -> Addr.t list
+(** Stale provider roots (freed/decayed addresses) observed by the most
+    recent {!collect}, oldest first, capped at a handful. *)
 
 val live_objects : t -> int
 (** From the shared statistics of the most recent sweep. *)

@@ -35,6 +35,10 @@ type t = {
   mutable mark_domain_faults : int;
   mutable mark_domains_recovered : int;
   mutable mark_quorum_degradations : int;
+  mutable precise_collections : int;
+  mutable precise_mark_aborts : int;
+  mutable precise_mark_retries : int;
+  mutable precise_stale_roots : int;
   mutable mark_seconds : float;
   mutable sweep_seconds : float;
   mutable total_gc_seconds : float;
@@ -78,6 +82,10 @@ let create () =
     mark_domain_faults = 0;
     mark_domains_recovered = 0;
     mark_quorum_degradations = 0;
+    precise_collections = 0;
+    precise_mark_aborts = 0;
+    precise_mark_retries = 0;
+    precise_stale_roots = 0;
     mark_seconds = 0.;
     sweep_seconds = 0.;
     total_gc_seconds = 0.;
@@ -120,11 +128,64 @@ let reset t =
   t.mark_domain_faults <- 0;
   t.mark_domains_recovered <- 0;
   t.mark_quorum_degradations <- 0;
+  t.precise_collections <- 0;
+  t.precise_mark_aborts <- 0;
+  t.precise_mark_retries <- 0;
+  t.precise_stale_roots <- 0;
   t.mark_seconds <- 0.;
   t.sweep_seconds <- 0.;
   t.total_gc_seconds <- 0.
 
 let copy t = { t with collections = t.collections }
+
+(* Copy every field of [src] back into [into], in place.  The inverse of
+   [copy] for callers that took a snapshot, ran a speculative phase (a
+   verifier's shadow mark, say), and want the observable counters exactly
+   as they were — without replacing the record other modules hold. *)
+let blit src ~into =
+  into.collections <- src.collections;
+  into.words_scanned <- src.words_scanned;
+  into.valid_refs <- src.valid_refs;
+  into.false_refs <- src.false_refs;
+  into.objects_marked <- src.objects_marked;
+  into.header_cache_hits <- src.header_cache_hits;
+  into.bytes_allocated <- src.bytes_allocated;
+  into.objects_allocated <- src.objects_allocated;
+  into.bytes_freed <- src.bytes_freed;
+  into.objects_freed <- src.objects_freed;
+  into.live_bytes <- src.live_bytes;
+  into.live_objects <- src.live_objects;
+  into.heap_expansions <- src.heap_expansions;
+  into.mark_stack_overflows <- src.mark_stack_overflows;
+  into.blacklist_alloc_checks <- src.blacklist_alloc_checks;
+  into.blacklist_rejected_pages <- src.blacklist_rejected_pages;
+  into.ladder_collects <- src.ladder_collects;
+  into.ladder_drains <- src.ladder_drains;
+  into.ladder_trims <- src.ladder_trims;
+  into.ladder_expansions <- src.ladder_expansions;
+  into.ladder_backoffs <- src.ladder_backoffs;
+  into.ladder_relax_first_page <- src.ladder_relax_first_page;
+  into.ladder_relax_black <- src.ladder_relax_black;
+  into.ladder_oom_hooks <- src.ladder_oom_hooks;
+  into.commit_faults <- src.commit_faults;
+  into.read_faults <- src.read_faults;
+  into.write_faults <- src.write_faults;
+  into.mark_downgrades <- src.mark_downgrades;
+  into.pages_decayed <- src.pages_decayed;
+  into.decay_retries <- src.decay_retries;
+  into.oom_raised <- src.oom_raised;
+  into.parallel_marks <- src.parallel_marks;
+  into.mark_serial_fallbacks <- src.mark_serial_fallbacks;
+  into.mark_domain_faults <- src.mark_domain_faults;
+  into.mark_domains_recovered <- src.mark_domains_recovered;
+  into.mark_quorum_degradations <- src.mark_quorum_degradations;
+  into.precise_collections <- src.precise_collections;
+  into.precise_mark_aborts <- src.precise_mark_aborts;
+  into.precise_mark_retries <- src.precise_mark_retries;
+  into.precise_stale_roots <- src.precise_stale_roots;
+  into.mark_seconds <- src.mark_seconds;
+  into.sweep_seconds <- src.sweep_seconds;
+  into.total_gc_seconds <- src.total_gc_seconds
 
 (* Fold one parallel-marker domain shard into the session totals.  Only
    the counters the trace phase touches are summed, so every existing
@@ -184,6 +245,7 @@ let pp ppf t =
      decay           %d pages quarantined, %d alloc retries@,\
      parallel mark   %d runs, %d serial fallbacks@,\
      domain faults   %d injected, %d domains recovered, %d quorum degradations@,\
+     precise         %d collects, %d mark aborts, %d retries, %d stale roots@,\
      gc time         %.6fs (mark %.6fs, sweep %.6fs)@]"
     t.collections t.words_scanned t.valid_refs t.false_refs t.objects_marked t.header_cache_hits
     t.objects_allocated
@@ -196,4 +258,5 @@ let pp ppf t =
     t.pages_decayed t.decay_retries
     t.parallel_marks t.mark_serial_fallbacks
     t.mark_domain_faults t.mark_domains_recovered t.mark_quorum_degradations
+    t.precise_collections t.precise_mark_aborts t.precise_mark_retries t.precise_stale_roots
     t.total_gc_seconds t.mark_seconds t.sweep_seconds

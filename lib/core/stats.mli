@@ -68,6 +68,17 @@ type t = {
           [Config.mark_quorum]; each also counts one
           [mark_serial_fallbacks] since the serial scanner reran the
           trace from scratch *)
+  mutable precise_collections : int;
+      (** exact (type-accurate) collections completed by {!Precise.collect} *)
+  mutable precise_mark_aborts : int;
+      (** exact mark phases abandoned after an unrecoverable access
+          fault, with the pre-collect mark state restored *)
+  mutable precise_mark_retries : int;
+      (** transient re-reads of an exact pointer slot that faulted during
+          a precise mark before the bounded retry budget gave up *)
+  mutable precise_stale_roots : int;
+      (** exact root-provider slots naming freed or decayed addresses —
+          counted and audited rather than silently skipped *)
   mutable mark_seconds : float;
   mutable sweep_seconds : float;
   mutable total_gc_seconds : float;
@@ -76,6 +87,12 @@ type t = {
 val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
+
+val blit : t -> into:t -> unit
+(** [blit src ~into] copies every field of [src] into [into], in place.
+    The restore half of a [copy]-snapshot for callers that run a
+    speculative phase (e.g. a verifier's shadow mark) against live
+    counters and must leave them exactly as found. *)
 
 val merge_marking : into:t -> t -> unit
 (** Fold one parallel-marker domain shard into the session totals: sums

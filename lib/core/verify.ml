@@ -316,6 +316,111 @@ let check_parallel_mark gc =
               add "up-front serial fallback carries a watchdog trail");
       List.rev !issues
 
+(* --- precise (type-accurate) mark audit --- *)
+
+(* Local mark-state snapshot, so the inclusion check below can run a
+   real conservative mark and leave no trace.  (Duplicated from the
+   precise collector's internal abort path: the committed-page set
+   cannot change while we hold the snapshot because nothing here
+   allocates.) *)
+let save_mark_state heap =
+  let acc = ref [] in
+  Heap.iter_committed heap (fun i p ->
+      match p with
+      | Page.Small s -> acc := (i, `Small (Bitset.copy s.Page.mark)) :: !acc
+      | Page.Large_head l -> acc := (i, `Large l.Page.l_marked) :: !acc
+      | Page.Uncommitted | Page.Free | Page.Large_tail _ -> ());
+  !acc
+
+let restore_mark_state heap snapshot =
+  List.iter
+    (fun (i, saved) ->
+      match (Heap.page heap i, saved) with
+      | Page.Small s, `Small bits ->
+          Bitset.clear s.Page.mark;
+          Bitset.union_into ~dst:s.Page.mark bits
+      | Page.Large_head l, `Large m -> l.Page.l_marked <- m
+      | _, _ -> ())
+    snapshot
+
+let check_precise_mark p =
+  let gc = Precise.gc p in
+  let heap = Gc.heap gc in
+  let issues = ref (List.rev (check_heap heap)) in
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  (* the layout table may only describe allocated objects (the sweep
+     evicts the rest) *)
+  Precise.iter_descriptors p (fun base _desc ->
+      if not (Gc.is_allocated gc base) then
+        add "layout table retains a descriptor for the swept object at 0x%x" (Addr.to_int base));
+  (* The rest of the audit reads the heap through the guarded accessors
+     and runs a shadow conservative mark; lift any armed fault plan so
+     the audit observes the heap instead of perturbing the experiment.
+     With no plan armed nothing can fault (decayed regions just read
+     back poison, which names no object). *)
+  let mem = Gc.mem gc in
+  let plan = Mem.fault_plan mem in
+  Mem.set_fault_plan mem None;
+  Fun.protect
+    ~finally:(fun () -> Mem.set_fault_plan mem plan)
+    (fun () ->
+      (* the exact-reachable set: closure of the providers' roots
+         through the registered pointer maps *)
+      let word = (Gc.config gc).Config.granule in
+      let reachable = Hashtbl.create 256 in
+      let stack = ref [] in
+      let visit a =
+        if Addr.to_int a <> 0 && Gc.is_allocated gc a && not (Hashtbl.mem reachable a) then begin
+          Hashtbl.replace reachable a ();
+          stack := a :: !stack
+        end
+      in
+      List.iter
+        (fun a ->
+          if Addr.to_int a <> 0 && not (Gc.is_allocated gc a) then
+            add "root provider names the freed or decayed address 0x%x" (Addr.to_int a)
+          else visit a)
+        (Precise.roots_now p);
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | [] -> continue := false
+        | base :: rest ->
+            stack := rest;
+            (match Precise.descriptor p base with
+            | None -> () (* unknown layout: atomic *)
+            | Some desc ->
+                Array.iter
+                  (fun off -> visit (Addr.of_int (Gc.get_field gc base (off / word))))
+                  desc.Type_desc.pointer_offsets)
+      done;
+      (* inclusion: everything exactly reachable must be covered by a
+         conservative mark of the same heap — the precise roots are
+         registered as a conservative register file, so precise marks ⊆
+         conservative marks by construction, and a violation means the
+         disciplines disagree about the heap itself.  The shadow mark is
+         fully unwound: mark bits, blacklist cycle and statistics are
+         restored before returning. *)
+      if Hashtbl.length reachable > 0 then begin
+        let marks = save_mark_state heap in
+        let stats_snapshot = Stats.copy (Gc.stats gc) in
+        let blacklist_snapshot = Blacklist.save_cycle (Gc.blacklist gc) in
+        Fun.protect
+          ~finally:(fun () ->
+            restore_mark_state heap marks;
+            Blacklist.restore_cycle (Gc.blacklist gc) blacklist_snapshot;
+            Stats.blit stats_snapshot ~into:(Gc.stats gc))
+          (fun () ->
+            Gc.Internal.run_mark gc;
+            Hashtbl.iter
+              (fun base () ->
+                if not (Gc.Internal.is_marked gc base) then
+                  add "exactly-reachable object 0x%x escapes the conservative mark"
+                    (Addr.to_int base))
+              reachable)
+      end);
+  List.rev !issues
+
 let check_after_collect gc =
   let issues = ref (List.rev (check gc)) in
   let heap = Gc.heap gc in

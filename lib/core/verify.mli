@@ -45,6 +45,19 @@ val check_heap : Heap.t -> string list
     sharing the page substrate (e.g. the {!Explicit} baseline), without
     needing a [Gc.t]. *)
 
+val check_precise_mark : Precise.t -> string list
+(** Audit the precise (type-accurate) view against its wrapped heap:
+    {!check_heap} (whose mark ⊆ alloc audit covers the exact marker's
+    bits too), the layout table describes only allocated objects
+    (sweeps must evict), no root provider names a freed or decayed
+    address, and — the two-discipline inclusion — every object in the
+    exact-reachable closure is covered by a shadow conservative mark of
+    the same heap (precise marks ⊆ conservative marks).  Any armed
+    fault plan is lifted for the duration and restored, and the shadow
+    mark is fully unwound (mark bits, blacklist cycle, statistics), so
+    the audit never perturbs the experiment it is auditing.  Safe to
+    call at any point, including right after an aborted precise mark. *)
+
 val check_parallel_mark : Gc.t -> string list
 (** Post-parallel-mark audit, valid between a mark phase run with
     [Config.mark_jobs > 1] (or [Gc.Internal.run_mark_parallel]) and the

@@ -2,14 +2,15 @@ open Cgc_vm
 module Gc = Cgc.Gc
 module Verify = Cgc.Verify
 
-type collector = Conservative | Generational | Explicit
+type collector = Conservative | Generational | Explicit | Precise
 
 let collector_name = function
   | Conservative -> "conservative"
   | Generational -> "generational"
   | Explicit -> "explicit"
+  | Precise -> "precise"
 
-let all_collectors = [ Conservative; Generational; Explicit ]
+let all_collectors = [ Conservative; Generational; Explicit; Precise ]
 
 type plan_spec =
   | Countdown of { every : int }
@@ -96,6 +97,9 @@ type outcome = {
   final_issues : string list;
   stats : Cgc.Stats.t;
   overrides : int;
+  retention : (int * int) option;
+      (* precise cells: (exact live, conservative-twin live) at the last
+         completed exact collect of the typed differential session *)
 }
 
 let clean o =
@@ -133,6 +137,10 @@ type world = {
   globals : Segment.t;
   rng : Rng.t;
   mutable live : Addr.t list;
+  precise : Cgc.Precise.t option;
+      (* the typed view when [collector = Precise]; the scenario driver
+         runs the typed differential mutator over it instead of the
+         untyped soak *)
 }
 
 let n_slots = 64
@@ -173,12 +181,35 @@ let make_world ~seed ~config ~collector =
               | Some f -> Some (Cgc.Mark.Parallel.fallback_to_string f)));
     }
   in
-  let ops =
+  let ops, precise =
     match collector with
     | Conservative ->
         let gc = Gc.create ~config mem ~base ~max_bytes () in
         add_root gc;
-        gc_common gc
+        (gc_common gc, None)
+    | Precise ->
+        let gc = Gc.create ~config mem ~base ~max_bytes () in
+        add_root gc;
+        (* [Precise.create] turns auto-collect off and redirects the
+           budget/ladder Collect paths into the exact collect *)
+        let p = Cgc.Precise.create gc in
+        ( {
+            (gc_common gc) with
+            alloc =
+              (* probe allocations (the post-fault liveness check) go
+                 through the typed allocator like everything else on
+                 this heap: an atomic layout of the requested size *)
+              (fun ~pointer_free:_ bytes ->
+                Cgc.Precise.allocate p (Cgc.Type_desc.atomic ~name:"probe" ~size_bytes:bytes));
+            collect =
+              (fun () ->
+                (* an aborted exact mark is a typed, absorbed outcome:
+                   marks are restored and the collect retries later *)
+                try Cgc.Precise.collect p with Cgc.Precise.Mark_aborted _ -> ());
+            audit_fault = (fun () -> Verify.check_after_fault gc @ Verify.check_precise_mark p);
+            audit_final = (fun () -> Verify.check gc @ Verify.check_precise_mark p);
+          },
+          Some p )
     | Generational ->
         (* minor sweeps are eager by construction *)
         let config = { config with Cgc.Config.lazy_sweep = false } in
@@ -186,20 +217,21 @@ let make_world ~seed ~config ~collector =
         add_root gc;
         Gc.set_auto_collect gc false;
         let g = Cgc.Generational.create gc in
-        {
-          (gc_common gc) with
-          alloc = (fun ~pointer_free bytes -> Cgc.Generational.allocate ~pointer_free g bytes);
-          write_field = Cgc.Generational.set_field g;
-          collect = (fun () -> Cgc.Generational.minor g);
-          drain = (fun () -> Cgc.Generational.major g);
-        }
+        ( {
+            (gc_common gc) with
+            alloc = (fun ~pointer_free bytes -> Cgc.Generational.allocate ~pointer_free g bytes);
+            write_field = Cgc.Generational.set_field g;
+            collect = (fun () -> Cgc.Generational.minor g);
+            drain = (fun () -> Cgc.Generational.major g);
+          },
+          None )
     | Explicit ->
         let e =
           Cgc.Explicit.create ~page_size:config.Cgc.Config.page_size mem ~base ~max_bytes ()
         in
         let release () = ignore (Cgc.Explicit.release_empty_pages e : int) in
-        {
-          alloc = (fun ~pointer_free:_ bytes -> Cgc.Explicit.malloc e bytes);
+        ( {
+            alloc = (fun ~pointer_free:_ bytes -> Cgc.Explicit.malloc e bytes);
           read_field = Cgc.Explicit.get_field e;
           write_field = Cgc.Explicit.set_field e;
           is_alloc = Cgc.Explicit.is_allocated e;
@@ -221,9 +253,10 @@ let make_world ~seed ~config ~collector =
           overrides = (fun () -> 0);
           arm_domain_faults = (fun _ -> ());
           last_fallback = (fun () -> None);
-        }
+          },
+          None )
   in
-  { mem; ops; globals; rng = Rng.create seed; live = [] }
+  { mem; ops; globals; rng = Rng.create seed; live = []; precise }
 
 let set_slot w i v = Segment.write_word w.globals (Addr.add (Segment.base w.globals) (4 * i)) v
 
@@ -302,6 +335,17 @@ let run_scenario ?(steps = 1500) ?(collector = Conservative) ?(mark_jobs = 1)
   in
   let w = make_world ~seed ~config ~collector in
   if arming then w.ops.arm_domain_faults (domain_fault_plans domain_fault);
+  (* Precise cells replay a typed trace through the differential session
+     (exact view under faults vs a pristine conservative twin); the
+     session is built before the plan arms so twin construction cannot
+     fault. *)
+  let typed =
+    match w.precise with
+    | Some p ->
+        let tops = Typed_mutator.trace ~seed ~steps in
+        Some (tops, Typed_mutator.make_session ~config p tops)
+    | None -> None
+  in
   let fp = instantiate plan in
   Mem.set_fault_plan w.mem (Some fp);
   let ooms = ref 0 in
@@ -312,7 +356,18 @@ let run_scenario ?(steps = 1500) ?(collector = Conservative) ?(mark_jobs = 1)
   let post_fault_failures = ref 0 in
   let last_faults = ref 0 in
   for i = 1 to steps do
-    (try step w with
+    (try
+       match typed with
+       | Some (tops, session) ->
+           if i - 1 < Array.length tops then begin
+             match Typed_mutator.step session tops.(i - 1) with
+             | `Ok | `Aborted -> () (* an abort is a typed, absorbed outcome *)
+             | `Oom -> incr ooms
+             | `Read_fault -> incr mut_reads
+             | `Write_fault -> incr mut_writes
+           end
+       | None -> step w
+     with
     | Gc.Out_of_memory _ | Cgc.Explicit.Out_of_memory _ -> incr ooms
     | Mem.Read_fault _ -> incr mut_reads
     | Mem.Write_fault _ -> incr mut_writes
@@ -385,6 +440,24 @@ let run_scenario ?(steps = 1500) ?(collector = Conservative) ?(mark_jobs = 1)
         "quorum degradation with mark_quorum = 1 (the leader never fails)" :: issues
       else issues
   in
+  (* Typed-differential discipline (precise cells): the pointwise
+     invariant — exact retention never exceeds the conservative twin's
+     on the same trace — must have held at every completed exact
+     collect, and the twin must never have hit allocation pressure
+     (which would void the subset argument). *)
+  let final_issues, retention =
+    match typed with
+    | None -> (final_issues, None)
+    | Some (_, session) ->
+        let issues = Typed_mutator.issues session @ final_issues in
+        let issues =
+          let t_ooms = Typed_mutator.twin_ooms session in
+          if t_ooms > 0 then
+            Printf.sprintf "conservative twin hit allocation pressure %d times" t_ooms :: issues
+          else issues
+        in
+        (issues, Typed_mutator.last_retention session)
+  in
   {
     collector = collector_name collector;
     scenario;
@@ -404,6 +477,7 @@ let run_scenario ?(steps = 1500) ?(collector = Conservative) ?(mark_jobs = 1)
     final_issues;
     stats;
     overrides = w.ops.overrides ();
+    retention;
   }
 
 let base_config = { Cgc.Config.default with Cgc.Config.initial_pages = 8 }
@@ -435,6 +509,13 @@ let access_plans ~seed =
 let scenarios_for = function
   | Conservative -> default_scenarios
   | Generational | Explicit -> [ ("eager", base_config) ]
+  | Precise ->
+      (* the exact marker's two interesting axes: the default geometry
+         and the bounded preallocated mark stack (overflow rescans) *)
+      [
+        ("eager", base_config);
+        ("bounded-stack", { base_config with Cgc.Config.mark_stack_limit = Some 32 });
+      ]
 
 let run_matrix ?(steps = 1500) ?(collectors = all_collectors) ?(mark_jobs = 1)
     ?(domain_fault = No_domain_fault) ~seed () =
@@ -475,6 +556,13 @@ let pp_outcome ppf o =
       (match o.last_fallback with None -> "none" | Some c -> c)
       s.Cgc.Stats.mark_domain_faults s.Cgc.Stats.mark_domains_recovered
       s.Cgc.Stats.mark_quorum_degradations;
+  if o.collector = "precise" then
+    Format.fprintf ppf "@,  precise: %d exact collects, %d mark aborts, %d retries, %d stale roots%s"
+      s.Cgc.Stats.precise_collections s.Cgc.Stats.precise_mark_aborts
+      s.Cgc.Stats.precise_mark_retries s.Cgc.Stats.precise_stale_roots
+      (match o.retention with
+      | None -> ""
+      | Some (p, c) -> Printf.sprintf "; retention %d exact <= %d conservative" p c);
   if not (clean o) then begin
     List.iter (fun e -> Format.fprintf ppf "@,  escaped: %s" e) o.escaped;
     List.iter (fun e -> Format.fprintf ppf "@,  invariant: %s" e) o.verify_issues;

@@ -21,6 +21,12 @@ type collector =
   | Conservative  (** the paper's collector, {!Cgc.Gc} *)
   | Generational  (** the page-grained two-generation wrapper *)
   | Explicit  (** the malloc/free baseline — no scanning, typed OOM *)
+  | Precise
+      (** the type-accurate control, {!Cgc.Precise}, driven by the typed
+          differential mutator ({!Typed_mutator}) instead of the untyped
+          soak: every cell replays a typed trace against the exact view
+          under faults {e and} a pristine conservative twin, checking
+          that precise retention never exceeds conservative retention *)
 
 val collector_name : collector -> string
 val all_collectors : collector list
@@ -98,6 +104,10 @@ type outcome = {
       (** snapshot, including ladder-rung and access-fault counters
           (all-zero for the explicit baseline, which keeps no [Stats.t]) *)
   overrides : int;  (** blacklist overrides by relaxation rungs *)
+  retention : (int * int) option;
+      (** precise cells: (exact live, conservative-twin live) at the
+          last completed exact collect; [None] for other collectors or
+          when no exact collect completed *)
 }
 
 val clean : outcome -> bool
@@ -153,10 +163,12 @@ val run_matrix :
   unit ->
   outcome list
 (** Every scenario crossed with every commit {e and} access plan, for
-    each requested collector (default: all three).  The conservative
+    each requested collector (default: all four).  The conservative
     collector runs all {!default_scenarios}; the generational and
-    explicit backends run the eager base configuration.  [mark_jobs]
-    (default 1) and [domain_fault] (default {!No_domain_fault}) are
-    forwarded to every cell. *)
+    explicit backends run the eager base configuration; the precise
+    backend runs the eager and bounded-mark-stack configurations (the
+    exact marker's two interesting axes).  [mark_jobs] (default 1) and
+    [domain_fault] (default {!No_domain_fault}) are forwarded to every
+    cell. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -98,11 +98,13 @@ let test_cross_collector_matrix () =
   List.iter outcome_clean outcomes;
   let collectors = List.sort_uniq compare (List.map (fun o -> o.Chaos.collector) outcomes) in
   Alcotest.(check (list string))
-    "all three backends ran" [ "conservative"; "explicit"; "generational" ] collectors;
+    "all four backends ran"
+    [ "conservative"; "explicit"; "generational"; "precise" ]
+    collectors;
   check bool "faults were injected across the matrix" true
     (List.exists (fun o -> o.Chaos.faults_injected > 0) outcomes)
 
-(* The full 49-cell matrix once more, marked by four domains.  Every
+(* The full 63-cell matrix once more, marked by four domains.  Every
    cell must stay clean — which, via the discipline check inside
    [run_scenario], also asserts that access-fault plans forced the
    tracer's typed serial fallback and that commit-plan cells really
@@ -110,7 +112,7 @@ let test_cross_collector_matrix () =
 let test_cross_collector_matrix_jobs4 () =
   let outcomes = Chaos.run_matrix ~steps:400 ~mark_jobs:4 ~seed:1993 () in
   List.iter outcome_clean outcomes;
-  Alcotest.(check int) "49 cells ran" 49 (List.length outcomes);
+  Alcotest.(check int) "63 cells ran" 63 (List.length outcomes);
   List.iter
     (fun o -> Alcotest.(check int) "jobs recorded" 4 o.Chaos.mark_jobs)
     outcomes;
@@ -160,6 +162,24 @@ let test_generational_survives_decay () =
        ~plan:(Chaos.Read_decay { every = 1500; region = 256 })
        ~expect_faults:true ()
       : Chaos.outcome)
+
+(* One precise cell in isolation: write refusals fault mutator stores
+   on the typed trace, yet every completed exact collect must satisfy
+   the differential invariant against the conservative twin. *)
+let test_precise_write_chance_differential () =
+  let o =
+    access_cell ~collector:Chaos.Precise
+      ~plan:(Chaos.Write_chance { probability = 0.01; seed = 7 })
+      ~expect_faults:true ()
+  in
+  check bool "exact collects completed" true
+    (o.Chaos.stats.Cgc.Stats.precise_collections > 0);
+  match o.Chaos.retention with
+  | Some (p, c) ->
+      check bool
+        (Printf.sprintf "precise retention %d <= conservative %d" p c)
+        true (p <= c)
+  | None -> Alcotest.fail "no retention comparison recorded"
 
 let test_explicit_typed_oom_under_commit_faults () =
   let o =
@@ -228,6 +248,8 @@ let () =
           Alcotest.test_case "write-decay quarantines pages" `Quick test_write_decay_quarantines;
           Alcotest.test_case "generational survives read decay" `Quick
             test_generational_survives_decay;
+          Alcotest.test_case "precise: write-chance differential" `Quick
+            test_precise_write_chance_differential;
           Alcotest.test_case "explicit: commit faults surface typed" `Quick
             test_explicit_typed_oom_under_commit_faults;
           Alcotest.test_case "table-1 bands survive read faults" `Slow

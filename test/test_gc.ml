@@ -888,6 +888,160 @@ let test_type_desc_validation () =
      with Invalid_argument _ -> true);
   check bool "cons is sane" true (Type_desc.cons.Type_desc.size_bytes = 8)
 
+(* Regression: the layout table must not leak — sweeping an object has
+   to evict its descriptor row, or the table grows without bound and
+   [check_precise_mark] would trace through freed memory. *)
+let test_precise_desc_eviction () =
+  let mem = Mem.create () in
+  let gc = Gc.create mem ~base:heap_base ~max_bytes:(256 * 1024) () in
+  let p = Precise.create gc in
+  let roots = ref [] in
+  Precise.add_root_provider p (fun () -> !roots);
+  let keep = Precise.allocate p Type_desc.cons in
+  roots := [ keep ];
+  let dead = List.init 50 (fun _ -> Precise.allocate p Type_desc.cons) in
+  check bool "table holds every allocation" true (Precise.descriptor_count p >= 51);
+  Precise.collect p;
+  check int "swept rows evicted" 1 (Precise.descriptor_count p);
+  List.iter
+    (fun a -> check bool "freed object has no descriptor" true (Precise.descriptor p a = None))
+    dead;
+  check bool "live object keeps its descriptor" true (Precise.descriptor p keep <> None)
+
+(* The exact scanner derives field indices as [offset / granule]; a
+   config with non-default scan alignment must not perturb that — the
+   pointer map is byte-offset-based, not alignment-based. *)
+let test_precise_nondefault_alignment_geometry () =
+  let config = { Config.default with Config.alignment = 2 } in
+  let mem = Mem.create () in
+  let gc = Gc.create ~config mem ~base:heap_base ~max_bytes:(256 * 1024) () in
+  let p = Precise.create gc in
+  let roots = ref [] in
+  Precise.add_root_provider p (fun () -> !roots);
+  let rec_desc =
+    Type_desc.make ~name:"rec" ~size_bytes:32 ~pointer_offsets:[ 8; 24 ]
+  in
+  let r = Precise.allocate p rec_desc in
+  let a = Precise.allocate p Type_desc.cons in
+  let b = Precise.allocate p Type_desc.cons in
+  Gc.set_field gc r 2 (Addr.to_int a);
+  (* word 2 = offset 8 *)
+  Gc.set_field gc r 6 (Addr.to_int b);
+  (* word 6 = offset 24 *)
+  (* a heap-looking value in a non-map word must not retain *)
+  let c = Precise.allocate p Type_desc.cons in
+  Gc.set_field gc r 1 (Addr.to_int c);
+  roots := [ r ];
+  Precise.collect p;
+  check bool "offset-8 child survives" true (Gc.is_allocated gc a);
+  check bool "offset-24 child survives" true (Gc.is_allocated gc b);
+  check bool "non-map word does not retain" false (Gc.is_allocated gc c)
+
+(* An exhausted transient-fault retry budget must abort the exact mark
+   with the typed exception, restore the pre-collect mark state, and
+   leave the heap ready for a clean re-collect once the plan lifts. *)
+let test_precise_mark_abort_and_restore () =
+  let mem = Mem.create () in
+  let gc = Gc.create mem ~base:heap_base ~max_bytes:(256 * 1024) () in
+  let p = Precise.create gc in
+  let roots = ref [] in
+  Precise.add_root_provider p (fun () -> !roots);
+  let a = Precise.allocate p Type_desc.cons in
+  let b = Precise.allocate p Type_desc.cons in
+  Gc.set_field gc a 0 (Addr.to_int b);
+  roots := [ a ];
+  let dead = Precise.allocate p Type_desc.cons in
+  ignore dead;
+  Mem.set_fault_plan mem
+    (Some (Mem.Fault.plan ~countdown:1 ~rearm:true ~target:Mem.Fault.Reads ()));
+  let aborted =
+    try
+      Precise.collect p;
+      false
+    with Precise.Mark_aborted { retries; _ } ->
+      check bool "retry budget was spent" true (retries >= 1);
+      true
+  in
+  check bool "mark aborted under rearming read faults" true aborted;
+  Mem.set_fault_plan mem None;
+  let s = Gc.stats gc in
+  check bool "abort counted" true (s.Stats.precise_mark_aborts >= 1);
+  check bool "retries counted" true (s.Stats.precise_mark_retries >= 1);
+  check bool "aborted cycle completed no collection" true (s.Stats.precise_collections = 0);
+  check (Alcotest.list Alcotest.string) "heap coherent after abort" []
+    (Cgc.Verify.check_precise_mark p);
+  Precise.collect p;
+  check bool "root survives the re-collect" true (Gc.is_allocated gc a);
+  check bool "child survives the re-collect" true (Gc.is_allocated gc b);
+  check int "exactly the garbage was freed" 2 s.Stats.live_objects
+
+(* A root provider naming a freed address is a mutator bug the marker
+   must surface (counted + audited), never trace through or crash on. *)
+let test_precise_stale_root_detection () =
+  let mem = Mem.create () in
+  let gc = Gc.create mem ~base:heap_base ~max_bytes:(256 * 1024) () in
+  let p = Precise.create gc in
+  let live = ref [] in
+  let stale = ref [] in
+  Precise.add_root_provider p (fun () -> !live @ !stale);
+  let a = Precise.allocate p Type_desc.cons in
+  let doomed = Precise.allocate p Type_desc.cons in
+  live := [ a ];
+  Precise.collect p;
+  check bool "doomed freed" false (Gc.is_allocated gc doomed);
+  stale := [ doomed ];
+  Precise.collect p;
+  let s = Gc.stats gc in
+  check bool "stale root counted" true (s.Stats.precise_stale_roots >= 1);
+  check bool "stale address audited" true (List.mem doomed (Precise.last_stale_roots p));
+  check bool "live root unaffected" true (Gc.is_allocated gc a)
+
+(* Allocation pressure must drive the wrapped collector's ladder into
+   the exact collector via the hook: unrooted garbage is reclaimed
+   without anyone calling [Precise.collect] and without a conservative
+   cycle racing the exact one. *)
+let test_precise_hook_collects_under_pressure () =
+  let config = { Config.default with Config.initial_pages = 8 } in
+  let mem = Mem.create () in
+  let gc = Gc.create ~config mem ~base:heap_base ~max_bytes:(64 * 1024) () in
+  let p = Precise.create gc in
+  Precise.add_root_provider p (fun () -> []);
+  for _ = 1 to 5000 do
+    ignore (Precise.allocate p Type_desc.cons : Addr.t)
+  done;
+  let s = Gc.stats gc in
+  check bool "hook drove exact collections" true (s.Stats.precise_collections >= 1);
+  check bool "every cycle was exact" true
+    (s.Stats.collections = s.Stats.precise_collections);
+  check bool "garbage was reclaimed" true (s.Stats.objects_freed >= 4000)
+
+(* A bounded mark stack must overflow gracefully: the fixpoint rescan
+   retains the whole chain, and the overflow episode is counted. *)
+let test_precise_bounded_mark_stack () =
+  let config = { Config.default with Config.mark_stack_limit = Some 16 } in
+  let mem = Mem.create () in
+  let gc = Gc.create ~config mem ~base:heap_base ~max_bytes:(256 * 1024) () in
+  let p = Precise.create gc in
+  let roots = ref [] in
+  Precise.add_root_provider p (fun () -> !roots);
+  (* a 64-way fan-out overflows the 16-slot stack in one scan; the
+     fixpoint rescan must still reach every child *)
+  let fanout = 64 in
+  let arr_desc =
+    Type_desc.make ~name:"wide" ~size_bytes:(4 * fanout)
+      ~pointer_offsets:(List.init fanout (fun i -> 4 * i))
+  in
+  let hub = Precise.allocate p arr_desc in
+  for i = 0 to fanout - 1 do
+    let c = Precise.allocate p Type_desc.cons in
+    Gc.set_field gc hub i (Addr.to_int c)
+  done;
+  roots := [ hub ];
+  Precise.collect p;
+  let s = Gc.stats gc in
+  check int "hub and every child retained" (fanout + 1) s.Stats.live_objects;
+  check bool "overflow episode counted" true (s.Stats.mark_stack_overflows >= 1)
+
 (* --- stats --- *)
 
 let test_stats_counters () =
@@ -1107,6 +1261,14 @@ let () =
           Alcotest.test_case "no false references" `Quick test_precise_no_false_references;
           Alcotest.test_case "vs conservative" `Quick test_precise_vs_conservative_misidentification;
           Alcotest.test_case "type descriptors" `Quick test_type_desc_validation;
+          Alcotest.test_case "descriptor eviction on sweep" `Quick test_precise_desc_eviction;
+          Alcotest.test_case "non-default alignment geometry" `Quick
+            test_precise_nondefault_alignment_geometry;
+          Alcotest.test_case "mark abort and restore" `Quick test_precise_mark_abort_and_restore;
+          Alcotest.test_case "stale root detection" `Quick test_precise_stale_root_detection;
+          Alcotest.test_case "hook collects under pressure" `Quick
+            test_precise_hook_collects_under_pressure;
+          Alcotest.test_case "bounded mark stack" `Quick test_precise_bounded_mark_stack;
         ] );
       ( "stats",
         [

@@ -695,6 +695,62 @@ let prop_read_fault_cone =
       let m2 = marked () in
       !subset && cone_ok && m2 = m0)
 
+(* --- precise vs conservative, pointwise on one typed trace --- *)
+
+module Precise = Cgc.Precise
+module Typed_mutator = Cgc_workloads.Typed_mutator
+
+let precise_world () =
+  let mem = Mem.create () in
+  let config = Config.default in
+  let gc = Gc.create ~config mem ~base:(Addr.of_int 0x400000) ~max_bytes:(1024 * 1024) () in
+  let p = Precise.create gc in
+  (mem, config, gc, p)
+
+(* The differential session's invariant, as a property over seeds: on
+   any typed trace, replayed fault-free, exact retention never exceeds
+   the conservative twin's at any completed collect.  (The chaos matrix
+   checks the same under fault plans; this pins the fault-free base
+   case across many traces.) *)
+let prop_precise_le_conservative =
+  QCheck.Test.make ~count:40 ~name:"precise <= conservative pointwise on typed traces"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let _, config, _, p = precise_world () in
+      let ops = Typed_mutator.trace ~seed ~steps:300 in
+      let session = Typed_mutator.make_session ~config p ops in
+      Array.iter (fun op -> ignore (Typed_mutator.step session op)) ops;
+      Typed_mutator.twin_ooms session = 0
+      && Typed_mutator.collects_completed session > 0
+      && Typed_mutator.issues session = [])
+
+(* Abort-and-restore, as a property: a precise mark aborted by faults
+   followed by a fault-free re-collect must land on exactly the live
+   set a never-faulted world reaches — the abort restored all mark
+   state and freed nothing. *)
+let prop_precise_abort_recollect_identical =
+  let live_set_after ~seed ~abort =
+    let mem, config, gc, p = precise_world () in
+    let ops = Typed_mutator.trace ~seed ~steps:250 in
+    let session = Typed_mutator.make_session ~config p ops in
+    Array.iter (fun op -> ignore (Typed_mutator.step session op)) ops;
+    if abort then begin
+      Mem.set_fault_plan mem
+        (Some (Mem.Fault.plan ~countdown:1 ~rearm:true ~target:Mem.Fault.Reads ()));
+      (try Precise.collect p with Precise.Mark_aborted _ -> ());
+      Mem.set_fault_plan mem None
+    end;
+    Precise.collect p;
+    let live = ref [] in
+    Precise.iter_descriptors p (fun a _ -> live := Addr.to_int a :: !live);
+    ((Gc.stats gc).Cgc.Stats.live_objects, List.sort compare !live)
+  in
+  QCheck.Test.make ~count:30
+    ~name:"aborted precise mark + fault-free re-collect = never-faulted collect"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      live_set_after ~seed ~abort:true = live_set_after ~seed ~abort:false)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -721,6 +777,8 @@ let suite =
       prop_fixes_sound;
       prop_generational_dominates;
       prop_read_fault_cone;
+      prop_precise_le_conservative;
+      prop_precise_abort_recollect_identical;
     ]
 
 let () = Alcotest.run "props" [ ("properties", suite) ]
